@@ -1,0 +1,58 @@
+"""Ablation A1: SOCS kernel count vs accuracy and speed.
+
+Design choice: images are computed with truncated TCC eigen-kernels.  How
+many kernels does the flow actually need?  Accuracy is measured against
+the Abbe reference on a standard-cell-like mask.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.geometry import Polygon, Rect
+from repro.litho import OpticalModel
+from repro.litho.raster import rasterize
+
+
+@pytest.fixture(scope="module")
+def mask(tech):
+    polys = [Polygon.from_rect(Rect(i * 320 - 45, -800, i * 320 + 45, 800))
+             for i in range(-2, 3)]
+    polys.append(Polygon.from_rect(Rect(-75, 900, 75, 1050)))  # a pad
+    return rasterize(polys, Rect(-1280, -1280, 1280, 1280), tech.litho.pixel_nm)
+
+
+def test_a1_socs_kernel_count(benchmark, tech, mask):
+    reference = OpticalModel(tech.litho, max_kernels=100, energy_cutoff=0.999999)
+    abbe = reference.aerial_image(mask, method="abbe").intensity
+
+    rows = []
+    errors = {}
+    for kernels in (4, 8, 16, 24, 40):
+        model = OpticalModel(tech.litho, max_kernels=kernels, energy_cutoff=1.0)
+        start = time.perf_counter()
+        image = model.aerial_image(mask, method="socs").intensity
+        model.aerial_image(mask, method="socs")  # cached-kernel timing
+        elapsed = (time.perf_counter() - start) / 2
+        err = float(np.abs(image - abbe).max())
+        errors[kernels] = err
+        rows.append((kernels, f"{err:.2e}", f"{1000 * elapsed:.0f}"))
+
+    print()
+    print(format_table(
+        ["kernels", "max |I - Abbe|", "image time (ms)"],
+        rows,
+        title="A1: SOCS truncation vs the Abbe reference (5-line + pad mask)",
+    ))
+
+    assert errors[40] < 1e-3          # production default is Abbe-exact
+    assert errors[4] > errors[40]     # truncation visibly costs accuracy
+    # Monotone improvement with kernel count.
+    ordered = [errors[k] for k in (4, 8, 16, 24, 40)]
+    assert all(a >= b - 1e-12 for a, b in zip(ordered, ordered[1:]))
+
+    model = OpticalModel(tech.litho)
+    model.aerial_image(mask)  # warm the kernel cache
+    benchmark(model.aerial_image, mask)

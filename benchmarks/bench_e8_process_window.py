@@ -1,0 +1,69 @@
+"""E8 (Fig. 5): delay sensitivity across the dose/defocus process window.
+
+CD-to-timing propagation across exposure conditions: the printed CD of the
+anchor gate pattern over a dose x defocus grid, mapped to a gate-delay
+derate through the device model (a Bossung plot in timing units).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.geometry import Polygon, Rect
+from repro.litho.resist import ProcessCondition
+from repro.litho.simulator import measure_cd_on_cutline
+
+DOSES = (0.96, 1.0, 1.04)
+DEFOCUS = (0.0, 100.0, 200.0, 300.0)
+
+
+@pytest.fixture(scope="module")
+def anchor_lines(tech):
+    pitch = tech.rules.poly_pitch
+    width = tech.rules.gate_length
+    return [
+        Polygon.from_rect(Rect(i * pitch - width / 2, -1500, i * pitch + width / 2, 1500))
+        for i in range(-3, 4)
+    ]
+
+
+def test_e8_process_window(benchmark, simulator, device_model, anchor_lines, tech):
+    region = Rect(-160, -100, 160, 100)
+    threshold = simulator.resist.threshold
+    nominal_delay = 1.0 / device_model.drive_current(1000.0, tech.rules.gate_length)
+
+    grid = {}
+    rows = []
+    for defocus in DEFOCUS:
+        row = [f"{defocus:.0f}"]
+        for dose in DOSES:
+            latent = simulator.latent_image(
+                anchor_lines, region, ProcessCondition(dose=dose, defocus_nm=defocus)
+            )
+            cd = measure_cd_on_cutline(latent, threshold, -160, 160, 0.0)
+            grid[(dose, defocus)] = cd
+            if cd > 0:
+                derate = (1.0 / device_model.drive_current(1000.0, cd)) / nominal_delay
+                row.append(f"{cd:.1f} ({derate:.2f}x)")
+            else:
+                row.append("open")
+        rows.append(tuple(row))
+
+    print()
+    print(format_table(
+        ["defocus (nm)"] + [f"dose {d:.2f}" for d in DOSES],
+        rows,
+        title="E8: printed gate CD (and delay derate) over the process window",
+    ))
+
+    # Shape assertions: dose is monotone (more dose -> thinner dark line),
+    # and defocus at nominal dose thins the line (contrast loss).
+    assert grid[(0.96, 0.0)] > grid[(1.0, 0.0)] > grid[(1.04, 0.0)]
+    assert grid[(1.0, 300.0)] < grid[(1.0, 0.0)]
+    # Delay spans a meaningful range across the window.
+    cds = [cd for cd in grid.values() if cd > 0]
+    assert max(cds) - min(cds) > 10.0
+
+    benchmark(
+        simulator.latent_image, anchor_lines, region,
+        ProcessCondition(dose=1.04, defocus_nm=200.0),
+    )

@@ -1,0 +1,108 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Heavy artifacts (technology, characterized library, calibrated litho
+simulator, flow runs) are session-scoped and built lazily, so each
+benchmark file pays only for what it uses.
+"""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import c17, carry_select_adder, random_logic
+from repro.device import AlphaPowerModel
+from repro.flow import FlowConfig, PostOpcTimingFlow
+from repro.litho import LithographySimulator
+from repro.pdk import make_tech_90nm
+from repro.variation import DoseDefocusMap
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    return build_library(tech)
+
+
+@pytest.fixture(scope="session")
+def device_model(tech):
+    return AlphaPowerModel(tech.device)
+
+
+@pytest.fixture(scope="session")
+def simulator(tech):
+    sim = LithographySimulator.for_tech(tech)
+    sim.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return sim
+
+
+@pytest.fixture(scope="session")
+def c17_flow(tech, library, simulator):
+    return PostOpcTimingFlow(c17(library), tech, cells=library, simulator=simulator)
+
+
+@pytest.fixture(scope="session")
+def adder_flow(tech, library, simulator):
+    """The headline design: a carry-select adder with near-tied speed paths."""
+    netlist = carry_select_adder(6, block=2)
+    return PostOpcTimingFlow(netlist, tech, cells=library, simulator=simulator)
+
+
+@pytest.fixture(scope="session")
+def adder_process_map(adder_flow):
+    return DoseDefocusMap(adder_flow.placement.die, seed=5)
+
+
+@pytest.fixture(scope="session")
+def signoff_period(adder_flow):
+    """Clock period a drawn-CD signoff would pick: 2% margin on the drawn
+    critical delay."""
+    return 1.02 * adder_flow.engine.run().critical_delay
+
+
+@pytest.fixture(scope="session")
+def adder_reports(adder_flow, adder_process_map, signoff_period):
+    """Flow runs of the adder under no/rule OPC with the ACLV map."""
+    reports = {}
+    for mode in ("none", "rule"):
+        reports[mode] = adder_flow.run(FlowConfig(
+            opc_mode=mode,
+            clock_period_ps=signoff_period,
+            n_critical_paths=8,
+            process_map=adder_process_map,
+        ))
+    return reports
+
+
+@pytest.fixture(scope="session")
+def rand_flow(tech, library, simulator):
+    """Random logic with many near-tied speed paths: the reordering vehicle."""
+    netlist = random_logic(80, n_inputs=10, seed=3)
+    return PostOpcTimingFlow(netlist, tech, cells=library, simulator=simulator)
+
+
+@pytest.fixture(scope="session")
+def rand_reports(rand_flow):
+    period = 1.02 * rand_flow.engine.run().critical_delay
+    process_map = DoseDefocusMap(rand_flow.placement.die, seed=5)
+    reports = {}
+    for mode in ("none", "rule"):
+        reports[mode] = rand_flow.run(FlowConfig(
+            opc_mode=mode,
+            clock_period_ps=period,
+            n_critical_paths=10,
+            process_map=process_map,
+        ))
+    return reports
+
+
+@pytest.fixture(scope="session")
+def c17_reports(c17_flow):
+    reports = {}
+    for mode in ("none", "rule", "selective", "model"):
+        reports[mode] = c17_flow.run(FlowConfig(
+            opc_mode=mode, clock_period_ps=500.0, n_critical_paths=1,
+        ))
+    return reports

@@ -1,0 +1,74 @@
+"""Building a hotspot pattern library from ORC results.
+
+The DFM follow-on to the paper's flow: once post-OPC verification finds
+failure sites, cluster them into a pattern library and use it to flag the
+same configurations in *new* layouts without re-running lithography
+(the "DRC Plus" use model of the same research group).
+
+    python examples/hotspot_library.py
+"""
+
+from repro.analysis import format_table
+from repro.dfm import HotspotLibrary
+from repro.geometry import Point, Polygon, Rect
+from repro.litho import LithographySimulator
+from repro.opc import run_orc
+from repro.opc.orc import OrcLimits
+from repro.pdk import make_tech_90nm
+
+
+def tight_line_end_pair(x, gap):
+    """Two facing line ends — the classic bridging/pullback hotspot."""
+    return [
+        Polygon.from_rect(Rect(x - 45, -800, x + 45, -gap / 2)),
+        Polygon.from_rect(Rect(x - 45, gap / 2, x + 45, 800)),
+    ]
+
+
+def main():
+    tech = make_tech_90nm()
+    sim = LithographySimulator.for_tech(tech)
+    sim.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+
+    # A "test chip" with repeated risky configurations (no OPC, on purpose).
+    layout = []
+    for k in range(4):
+        layout += tight_line_end_pair(k * 2500, 150)       # config A x4
+    for k in range(2):
+        layout += tight_line_end_pair(15000 + k * 2500, 320)  # config B x2
+
+    # Classify only catastrophic sites (opens/bridges/pinches); plain EPE
+    # violations are handled by OPC, not by pattern screening.
+    report = run_orc(sim, layout, layout, limits=OrcLimits(max_epe=1e9))
+    print(f"ORC found {len(report.violations)} violations "
+          f"({len(report.violations_of('open'))} opens, "
+          f"{len(report.violations_of('bridge'))} bridges, "
+          f"{len(report.violations_of('pinch'))} pinches)")
+
+    library = HotspotLibrary.from_orc(layout, report.violations)
+    print()
+    print(format_table(
+        ["class", "occurrences", "violation kinds"],
+        [(i, cls.count, ", ".join(f"{k} x{n}" for k, n in sorted(cls.kinds.items())))
+         for i, cls in enumerate(library.classes)],
+        title=f"hotspot pattern library ({len(library)} classes)",
+    ))
+
+    # A new design reuses configuration A: flag it by pattern match alone,
+    # scanning candidate sites on a coarse grid (production pattern matchers
+    # scan every placement; the library itself is translation-invariant).
+    new_layout = tight_line_end_pair(99000, 150)
+    sites = [Point(99000 + dx, dy)
+             for dx in range(-90, 91, 45) for dy in range(-225, 226, 45)]
+    hits = library.match(new_layout, sites)
+    print()
+    if hits:
+        classes = sorted({cls for _, cls in hits})
+        print(f"new layout: {len(hits)} of {len(sites)} scanned sites match "
+              f"hotspot classes {classes} - flagged WITHOUT a lithography run")
+    else:
+        print("new layout: no known hotspot found")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Selective OPC: design intent driving mask synthesis.
+
+The paper's closing proposal: pass design intent (which gates are timing
+critical) to the OPC engineers, so expensive model-based correction is
+spent only where timing needs it.  This example compares three mask
+recipes on the same design:
+
+* rule-based OPC everywhere (cheap),
+* model-based OPC everywhere (expensive),
+* selective: model-based on tagged critical gates only.
+
+    python examples/selective_opc.py
+"""
+
+from repro.analysis import format_table
+from repro.cells import build_library
+from repro.circuits import c17
+from repro.flow import FlowConfig, PostOpcTimingFlow
+from repro.pdk import make_tech_90nm
+
+
+def main():
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    flow = PostOpcTimingFlow(c17(library), tech, cells=library)
+
+    rows = []
+    for mode in ("rule", "selective", "model"):
+        report = flow.run(FlowConfig(opc_mode=mode, clock_period_ps=500.0,
+                                     n_critical_paths=1))
+        critical_stats = [
+            m.error for (gate, _), m in report.measurements.items()
+            if gate in report.critical_gates and m.printed
+        ]
+        worst_critical = max((abs(e) for e in critical_stats), default=float("nan"))
+        rows.append((
+            mode,
+            report.model_corrected_polygons,
+            f"{report.runtimes['opc']:.1f}",
+            f"{report.cd_stats.mean:+.2f}",
+            f"{report.cd_stats.sigma:.2f}",
+            f"{worst_critical:.2f}",
+            f"{report.wns_post:+.1f}",
+        ))
+
+    print(format_table(
+        ["opc mode", "model-corrected polys", "opc time (s)",
+         "CD mean (nm)", "CD sigma (nm)", "worst critical |err|", "WNS (ps)"],
+        rows,
+        title="selective OPC: timing quality vs correction cost (c17)",
+    ))
+    print()
+    print("Selective mode holds the critical gates to model-OPC accuracy at a")
+    print("fraction of the full-chip correction cost.")
+
+
+if __name__ == "__main__":
+    main()

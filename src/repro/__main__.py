@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``flow``    — run the post-OPC timing flow on a built-in design
+* ``sta``     — drawn-CD static timing report
+* ``liberty`` — emit the characterized library as Liberty text
+* ``gds``     — write a placed design (and optionally its OPC mask) to GDSII
+* ``litho``   — print the calibrated process signature (CD through pitch)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cells import build_library
+from repro.circuits import (
+    array_multiplier,
+    c17,
+    carry_select_adder,
+    kogge_stone_adder,
+    random_logic,
+    ripple_carry_adder,
+    testchip,
+)
+from repro.pdk import make_tech_90nm
+
+DESIGNS = {
+    "c17": lambda lib: c17(lib),
+    "rca4": lambda lib: ripple_carry_adder(4),
+    "rca8": lambda lib: ripple_carry_adder(8),
+    "csa6": lambda lib: carry_select_adder(6, block=2),
+    "ksa8": lambda lib: kogge_stone_adder(8),
+    "mult4": lambda lib: array_multiplier(4),
+    "rand80": lambda lib: random_logic(80, n_inputs=10, seed=3),
+    "testchip": lambda lib: testchip(bits=3, random_gates=24),
+}
+
+
+def _make_design(name: str, library):
+    if name not in DESIGNS:
+        raise SystemExit(f"unknown design {name!r}; choose from {sorted(DESIGNS)}")
+    return DESIGNS[name](library)
+
+
+def cmd_flow(args) -> int:
+    from repro.flow import FlowConfig, PostOpcTimingFlow
+
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    netlist = _make_design(args.design, library)
+    flow = PostOpcTimingFlow(netlist, tech, cells=library)
+    period = args.period or 1.05 * flow.engine.run().critical_delay
+    report = flow.run(FlowConfig(opc_mode=args.opc, clock_period_ps=period,
+                                 n_critical_paths=args.paths))
+    print(report.summary())
+    if args.gds:
+        from repro.flow import export_flow_gds
+
+        export_flow_gds(flow, report, args.gds)
+        print(f"wrote {args.gds}")
+    return 0
+
+
+def cmd_sta(args) -> int:
+    from repro.device import AlphaPowerModel
+    from repro.place import place_rows
+    from repro.timing import (
+        StaEngine, TimingConstraints, characterize_library, report_summary,
+        report_timing,
+    )
+
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    netlist = _make_design(args.design, library)
+    liberty = characterize_library(library, AlphaPowerModel(tech.device))
+    engine = StaEngine(netlist, library, liberty, place_rows(netlist, library))
+    result = engine.run(TimingConstraints(clock_period_ps=args.period or 1000.0))
+    print(report_summary(result))
+    print()
+    print(report_timing(result, k=args.paths, netlist=netlist))
+    return 0
+
+
+def cmd_liberty(args) -> int:
+    from repro.device import AlphaPowerModel
+    from repro.timing import characterize_library, write_liberty
+
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    liberty = characterize_library(library, AlphaPowerModel(tech.device))
+    text = write_liberty(liberty)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(liberty)} cells)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_gds(args) -> int:
+    from repro.gds import write_gds
+    from repro.place import assemble_layout, place_rows
+
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    netlist = _make_design(args.design, library)
+    placement = place_rows(netlist, library)
+    layout = assemble_layout(netlist, library, placement)
+    write_gds(layout, args.out)
+    print(f"wrote {args.out}: {netlist.gate_count} gates, "
+          f"die {placement.die.width / 1000:.1f} x {placement.die.height / 1000:.1f} um")
+    return 0
+
+
+def cmd_litho(args) -> int:
+    from repro.litho import LithographySimulator
+    from repro.litho.simulator import cd_through_pitch
+
+    tech = make_tech_90nm()
+    sim = LithographySimulator.for_tech(tech)
+    threshold = sim.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    print(f"threshold {threshold:.3f} (anchor {tech.rules.gate_length:.0f} nm "
+          f"@ {tech.rules.poly_pitch:.0f} nm pitch)")
+    for pitch, cd in cd_through_pitch(sim, tech.rules.gate_length,
+                                      [320, 400, 480, 640, 960, 1600]):
+        print(f"  pitch {pitch:5.0f} nm -> printed CD {cd:6.1f} nm "
+              f"({cd - tech.rules.gate_length:+.1f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="litho-aware timing analysis (DAC 2005 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flow = sub.add_parser("flow", help="run the post-OPC timing flow")
+    flow.add_argument("--design", default="c17", choices=sorted(DESIGNS))
+    flow.add_argument("--opc", default="rule",
+                      choices=["none", "rule", "model", "selective"])
+    flow.add_argument("--period", type=float, default=None, help="clock period (ps)")
+    flow.add_argument("--paths", type=int, default=5)
+    flow.add_argument("--gds", default=None, help="also export layers to this GDS file")
+    flow.set_defaults(func=cmd_flow)
+
+    sta = sub.add_parser("sta", help="drawn-CD timing report")
+    sta.add_argument("--design", default="c17", choices=sorted(DESIGNS))
+    sta.add_argument("--period", type=float, default=None)
+    sta.add_argument("--paths", type=int, default=3)
+    sta.set_defaults(func=cmd_sta)
+
+    liberty = sub.add_parser("liberty", help="emit the characterized .lib")
+    liberty.add_argument("--out", default=None)
+    liberty.set_defaults(func=cmd_liberty)
+
+    gds = sub.add_parser("gds", help="write a placed design to GDSII")
+    gds.add_argument("--design", default="c17", choices=sorted(DESIGNS))
+    gds.add_argument("--out", required=True)
+    gds.set_defaults(func=cmd_gds)
+
+    litho = sub.add_parser("litho", help="print the calibrated process signature")
+    litho.set_defaults(func=cmd_litho)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

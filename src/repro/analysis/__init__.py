@@ -1,0 +1,15 @@
+"""Result analysis: path-rank comparison and report tables."""
+
+from repro.analysis.rank import RankComparison, compare_rankings, kendall_tau, spearman_rho
+from repro.analysis.report import format_table, format_histogram
+from repro.analysis.flow_report import flow_report_markdown
+
+__all__ = [
+    "RankComparison",
+    "compare_rankings",
+    "kendall_tau",
+    "spearman_rho",
+    "format_table",
+    "format_histogram",
+    "flow_report_markdown",
+]

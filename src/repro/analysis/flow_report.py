@@ -1,0 +1,92 @@
+"""Markdown signoff report for a flow run.
+
+Renders a :class:`~repro.flow.FlowReport` as the document a timing team
+would circulate: CD population, worst-slack movement, path-rank table,
+leakage, hold, and printability faults.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrology.statistics import histogram_of_errors
+
+
+def flow_report_markdown(report) -> str:
+    """Render a FlowReport as a self-contained markdown document."""
+    lines: List[str] = [
+        f"# Post-OPC timing report — {report.netlist_name}",
+        "",
+        f"*OPC mode:* **{report.opc_mode}** &nbsp;&nbsp; "
+        f"*clock period:* {report.drawn_sta.clock_period_ps:.1f} ps &nbsp;&nbsp; "
+        f"*critical gates tagged:* {len(report.critical_gates)}",
+        "",
+        "## Printed gate CDs",
+        "",
+        f"{report.cd_stats.count} transistors measured; printed − drawn error "
+        f"mean **{report.cd_stats.mean:+.2f} nm**, sigma "
+        f"**{report.cd_stats.sigma:.2f} nm**, range "
+        f"[{report.cd_stats.minimum:+.2f}, {report.cd_stats.maximum:+.2f}] nm.",
+        "",
+        "| error bin (nm) | count |",
+        "|---|---|",
+    ]
+    for center, count in histogram_of_errors(report.measurements, bin_width=2.0):
+        lines.append(f"| {center:+.0f} | {count} |")
+
+    lines += [
+        "",
+        "## Worst-case slack",
+        "",
+        f"| view | WNS (ps) |",
+        "|---|---|",
+        f"| drawn CDs | {report.wns_drawn:+.2f} |",
+        f"| post-OPC extracted CDs | {report.wns_post:+.2f} |",
+        "",
+        f"Change: **{report.wns_change_percent:+.1f}%** of the drawn margin.",
+        "",
+        "## Speed-path ranking",
+        "",
+        f"Kendall tau {report.rank.tau:.3f}, {report.rank.moved} of "
+        f"{len(report.rank.endpoints)} endpoints moved"
+        + (", **new #1 path**." if report.rank.new_top else "."),
+        "",
+        "| endpoint | drawn rank | post rank |",
+        "|---|---|---|",
+    ]
+    for net, before, after, _ in report.rank.rows():
+        lines.append(f"| {net} | {before + 1} | {after + 1} |")
+
+    lines += [
+        "",
+        "## Static power",
+        "",
+        f"Leakage {report.leakage_drawn * 1e9:.2f} nA (drawn) → "
+        f"{report.leakage_post * 1e9:.2f} nA (printed), "
+        f"**{report.leakage_change_percent:+.1f}%**.",
+    ]
+    if report.hold_drawn != float("inf"):
+        lines += [
+            "",
+            "## Hold",
+            "",
+            f"Worst register hold slack {report.hold_drawn:+.2f} ps (drawn) → "
+            f"{report.hold_post:+.2f} ps (printed).",
+        ]
+    if report.failed_gates:
+        lines += [
+            "",
+            "## Printability faults",
+            "",
+            "Gates with open/unmeasurable channels (yield loss, not derated):",
+            "",
+        ]
+        lines += [f"* `{g}`" for g in sorted(report.failed_gates)]
+    lines += [
+        "",
+        "---",
+        "*stage runtimes:* "
+        + ", ".join(f"{k} {v:.1f}s" for k, v in report.runtimes.items()),
+        "",
+    ]
+    return "\n".join(lines)

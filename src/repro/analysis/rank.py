@@ -1,0 +1,93 @@
+"""Rank correlation between drawn and post-OPC speed-path orderings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.timing.paths import TimingPath
+
+
+def kendall_tau(ranks_a: Sequence[int], ranks_b: Sequence[int]) -> float:
+    """Kendall's tau-a between two rankings of the same items."""
+    if len(ranks_a) != len(ranks_b):
+        raise ValueError("rankings must have equal length")
+    n = len(ranks_a)
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = ranks_a[i] - ranks_a[j]
+            b = ranks_b[i] - ranks_b[j]
+            product = a * b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def spearman_rho(ranks_a: Sequence[int], ranks_b: Sequence[int]) -> float:
+    """Spearman's rho between two rankings of the same items."""
+    if len(ranks_a) != len(ranks_b):
+        raise ValueError("rankings must have equal length")
+    n = len(ranks_a)
+    if n < 2:
+        return 1.0
+    d2 = sum((a - b) ** 2 for a, b in zip(ranks_a, ranks_b))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+@dataclass(frozen=True)
+class RankComparison:
+    """How a path ranking moved between two timing runs."""
+
+    endpoints: Tuple[str, ...]
+    ranks_before: Tuple[int, ...]
+    ranks_after: Tuple[int, ...]
+    tau: float
+    rho: float
+    moved: int           # endpoints whose rank changed
+    new_top: bool        # did the #1 path change?
+
+    def rows(self) -> List[Tuple[str, int, int, int]]:
+        """(endpoint, rank before, rank after, movement) report rows."""
+        return [
+            (net, before, after, before - after)
+            for net, before, after in zip(self.endpoints, self.ranks_before, self.ranks_after)
+        ]
+
+
+def compare_rankings(
+    paths_before: Sequence[TimingPath],
+    paths_after: Sequence[TimingPath],
+) -> RankComparison:
+    """Compare two top-K path reports over their common endpoints.
+
+    Endpoints appearing in only one report are ranked after all common
+    ones in the report that lacks them (they fell out of / entered the
+    top-K — itself a reordering signal).
+    """
+    order_before = [p.endpoint_net for p in paths_before]
+    order_after = [p.endpoint_net for p in paths_after]
+    rank_before: Dict[str, int] = {net: i for i, net in enumerate(order_before)}
+    rank_after: Dict[str, int] = {net: i for i, net in enumerate(order_after)}
+    endpoints = sorted(set(order_before) | set(order_after), key=lambda net: (
+        rank_before.get(net, len(order_before)), net
+    ))
+    fallback_before = len(order_before)
+    fallback_after = len(order_after)
+    ranks_a = [rank_before.get(net, fallback_before) for net in endpoints]
+    ranks_b = [rank_after.get(net, fallback_after) for net in endpoints]
+    moved = sum(1 for a, b in zip(ranks_a, ranks_b) if a != b)
+    new_top = bool(order_before and order_after and order_before[0] != order_after[0])
+    return RankComparison(
+        endpoints=tuple(endpoints),
+        ranks_before=tuple(ranks_a),
+        ranks_after=tuple(ranks_b),
+        tau=kendall_tau(ranks_a, ranks_b),
+        rho=spearman_rho(ranks_a, ranks_b),
+        moved=moved,
+        new_top=new_top,
+    )

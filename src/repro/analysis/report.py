@@ -1,0 +1,54 @@
+"""Fixed-width text tables for benchmark and flow reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (numbers right-aligned)."""
+    text_rows: List[List[str]] = []
+    for row in rows:
+        text_rows.append([_fmt(value) for value in row])
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells, pad=" "):
+        return " | ".join(cell.rjust(widths[k]) for k, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_histogram(
+    bins: Sequence[Tuple[float, int]],
+    width: int = 40,
+    label: str = "nm",
+) -> str:
+    """Horizontal ASCII histogram for CD/EPE error distributions."""
+    if not bins:
+        return "(empty histogram)"
+    peak = max(count for _, count in bins) or 1
+    lines = []
+    for center, count in bins:
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{center:+7.1f} {label} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,6 @@
+"""Standard-cell library: logic, transistors, and generated layout."""
+
+from repro.cells.stdcell import Pin, StandardCell, Transistor
+from repro.cells.library import CellLibrary, build_library
+
+__all__ = ["Pin", "StandardCell", "Transistor", "CellLibrary", "build_library"]

@@ -1,0 +1,191 @@
+"""Parametric standard-cell layout generation.
+
+All cells share one row template (heights and strips derived from the
+technology's design rules):
+
+* horizontal VSS rail at the bottom, VDD rail at the top (METAL1),
+* an NMOS active strip above the VSS rail, a PMOS strip below the VDD rail,
+* one vertical POLY stripe per transistor pair, on the contacted poly pitch,
+  with a landing pad in the mid-cell gap for the gate contact,
+* CONTACT + METAL1 stubs on each source/drain column and on the gate pads.
+
+The returned :class:`GeneratedLayout` carries the transistor gate rectangles
+(the poly-over-active regions), which downstream metrology uses to measure
+printed gate CDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cells.stdcell import Pin, Transistor
+from repro.gds import Cell
+from repro.geometry import Rect
+from repro.pdk import Layers, Technology
+
+
+@dataclass(frozen=True)
+class RowTemplate:
+    """Derived dimensions of the standard-cell row, all in nanometres."""
+
+    height: float
+    rail: float
+    wn_x1: float
+    wp_x1: float
+    pad_size: float
+    pitch: float
+    gate_length: float
+    endcap: float
+    contact: float
+    active_enclosure: float
+    metal_enclosure: float
+
+    @staticmethod
+    def from_tech(tech: Technology) -> "RowTemplate":
+        rules = tech.rules
+        # Strip and rail dimensions scale with the node (anchored at the
+        # 90 nm template that the default rule set was tuned around).
+        scale = rules.gate_length / 90.0
+        return RowTemplate(
+            height=rules.cell_height,
+            rail=240.0 * scale,
+            wn_x1=400.0 * scale,
+            wp_x1=600.0 * scale,
+            pad_size=rules.contact_size + 2 * rules.poly_contact_enclosure,
+            pitch=rules.poly_pitch,
+            gate_length=rules.gate_length,
+            endcap=rules.poly_endcap,
+            contact=rules.contact_size,
+            active_enclosure=rules.active_contact_enclosure,
+            metal_enclosure=rules.metal1_contact_enclosure,
+        )
+
+    def nmos_strip(self, drive: int) -> Rect:
+        width = self.wn_x1 * drive
+        return Rect(0, self.rail, 0, self.rail + width)  # x set by caller
+
+    def pmos_strip(self, drive: int) -> Rect:
+        width = self.wp_x1 * drive
+        return Rect(0, self.height - self.rail - width, 0, self.height - self.rail)
+
+
+@dataclass
+class GeneratedLayout:
+    """Output of the cell generator."""
+
+    cell: Cell
+    transistors: List[Transistor]
+    pins: Dict[str, Pin] = field(default_factory=dict)
+    width: float = 0.0
+    height: float = 0.0
+
+
+def generate_cell_layout(
+    name: str,
+    stripe_pins: Sequence[str],
+    drive: int,
+    tech: Technology,
+    input_pins: Sequence[str] = (),
+    output_pin: str = "Z",
+    clock_pin: str = "",
+) -> GeneratedLayout:
+    """Build the layout for a cell with one poly stripe per entry of
+    ``stripe_pins`` (the gate-pin label of that stripe).
+
+    Stripe ``i`` produces transistors ``MN{i}`` (on the NMOS strip) and
+    ``MP{i}`` (on the PMOS strip).
+    """
+    if drive < 1:
+        raise ValueError("drive must be >= 1")
+    if not stripe_pins:
+        raise ValueError("cell needs at least one poly stripe")
+    t = RowTemplate.from_tech(tech)
+    n = len(stripe_pins)
+    width = (n + 1) * t.pitch
+
+    cell = Cell(name)
+    wn = t.wn_x1 * drive
+    wp = t.wp_x1 * drive
+    # Active extends past the outer source/drain contacts by the enclosure.
+    x_active = t.pitch / 2 - (t.contact / 2 + t.active_enclosure)
+    nmos = Rect(x_active, t.rail, width - x_active, t.rail + wn)
+    pmos = Rect(x_active, t.height - t.rail - wp, width - x_active, t.height - t.rail)
+    if nmos.y1 + t.pad_size >= pmos.y0:
+        raise ValueError(
+            f"drive {drive} does not fit the row: nmos top {nmos.y1}, pmos bottom {pmos.y0}"
+        )
+    cell.add_rect(Layers.ACTIVE, nmos)
+    cell.add_rect(Layers.ACTIVE, pmos)
+    cell.add_rect(Layers.NWELL, Rect(0, t.height / 2, width, t.height))
+    cell.add_rect(Layers.NIMPLANT, Rect(0, 0, width, t.height / 2))
+    cell.add_rect(Layers.PIMPLANT, Rect(0, t.height / 2, width, t.height))
+    cell.add_rect(Layers.BOUNDARY, Rect(0, 0, width, t.height))
+
+    # Power rails.
+    cell.add_rect(Layers.METAL1, Rect(0, 0, width, t.rail))
+    cell.add_rect(Layers.METAL1, Rect(0, t.height - t.rail, width, t.height))
+
+    mid = (nmos.y1 + pmos.y0) / 2
+    transistors: List[Transistor] = []
+    pins: Dict[str, Pin] = {}
+
+    for i, pin_label in enumerate(stripe_pins):
+        cx = (i + 1) * t.pitch
+        x0, x1 = cx - t.gate_length / 2, cx + t.gate_length / 2
+        stripe = Rect(x0, nmos.y0 - t.endcap, x1, pmos.y1 + t.endcap)
+        cell.add_rect(Layers.POLY, stripe)
+
+        pad = Rect.from_center(cx, mid, t.pad_size, t.pad_size)
+        cell.add_rect(Layers.POLY, pad)
+        cell.add_rect(Layers.CONTACT, Rect.from_center(cx, mid, t.contact, t.contact))
+        pad_metal = Rect.from_center(
+            cx, mid, t.contact + 2 * t.metal_enclosure, t.contact + 2 * t.metal_enclosure
+        )
+        cell.add_rect(Layers.METAL1, pad_metal)
+        if pin_label in input_pins and pin_label not in pins:
+            pins[pin_label] = Pin(pin_label, "input", pad_metal)
+        if clock_pin and pin_label == clock_pin and pin_label not in pins:
+            pins[pin_label] = Pin(pin_label, "clock", pad_metal)
+
+        transistors.append(
+            Transistor(
+                name=f"MN{i}",
+                mos_type="n",
+                gate_pin=pin_label,
+                width=wn,
+                length=t.gate_length,
+                gate_rect=Rect(x0, nmos.y0, x1, nmos.y1),
+            )
+        )
+        transistors.append(
+            Transistor(
+                name=f"MP{i}",
+                mos_type="p",
+                gate_pin=pin_label,
+                width=wp,
+                length=t.gate_length,
+                gate_rect=Rect(x0, pmos.y0, x1, pmos.y1),
+            )
+        )
+
+    # Source/drain contact columns between and outside the gates.
+    out_rect = None
+    for i in range(n + 1):
+        cx = t.pitch / 2 + i * t.pitch
+        for strip in (nmos, pmos):
+            cy = (strip.y0 + strip.y1) / 2
+            cell.add_rect(Layers.CONTACT, Rect.from_center(cx, cy, t.contact, t.contact))
+            stub = Rect.from_center(
+                cx, cy, t.contact + 2 * t.metal_enclosure, t.contact + 2 * t.metal_enclosure
+            )
+            cell.add_rect(Layers.METAL1, stub)
+            if i == n and strip is nmos:
+                out_rect = stub
+
+    # Output pin: the drain stub on the last source/drain column.
+    pins[output_pin] = Pin(output_pin, "output", out_rect)
+
+    return GeneratedLayout(
+        cell=cell, transistors=transistors, pins=pins, width=width, height=t.height
+    )

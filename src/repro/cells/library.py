@@ -1,0 +1,157 @@
+"""The standard-cell library of the reproduction.
+
+Builds the cell set used by the benchmark circuits — inverters, buffers,
+NAND/NOR gates, AOI/OAI complex gates, XOR/XNOR, and a D flip-flop — each
+with generated layout, transistor networks, and boolean functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.cells.generator import generate_cell_layout
+from repro.cells.stdcell import StandardCell
+from repro.pdk import Technology
+
+
+class CellLibrary:
+    """A named collection of :class:`StandardCell` s for one technology."""
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self.cells: Dict[str, StandardCell] = {}
+
+    def add(self, cell: StandardCell) -> StandardCell:
+        if cell.name in self.cells:
+            raise ValueError(f"cell {cell.name!r} already in library")
+        self.cells[cell.name] = cell
+        return cell
+
+    def __getitem__(self, name: str) -> StandardCell:
+        if name not in self.cells:
+            raise KeyError(f"no cell {name!r}; available: {sorted(self.cells)}")
+        return self.cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def names(self) -> List[str]:
+        return sorted(self.cells)
+
+    def combinational(self) -> List[StandardCell]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+
+def _make_cell(
+    library: CellLibrary,
+    name: str,
+    kind: str,
+    inputs: Sequence[str],
+    stripe_pins: Sequence[str],
+    function: Callable[[Mapping[str, bool]], bool],
+    pd_branches: Sequence[Sequence[int]],
+    pu_branches: Sequence[Sequence[int]],
+    drive: int,
+    output: str = "Z",
+    clock: Optional[str] = None,
+    is_sequential: bool = False,
+) -> StandardCell:
+    generated = generate_cell_layout(
+        name=name,
+        stripe_pins=stripe_pins,
+        drive=drive,
+        tech=library.tech,
+        input_pins=list(inputs),
+        output_pin=output,
+        clock_pin=clock or "",
+    )
+    cell = StandardCell(
+        name=name,
+        kind=kind,
+        inputs=list(inputs),
+        output=output,
+        function=function,
+        layout=generated.cell,
+        transistors=generated.transistors,
+        pins=generated.pins,
+        pull_down_branches=[[f"MN{i}" for i in branch] for branch in pd_branches],
+        pull_up_branches=[[f"MP{i}" for i in branch] for branch in pu_branches],
+        width=generated.width,
+        height=generated.height,
+        drive=drive,
+        clock=clock,
+        is_sequential=is_sequential,
+    )
+    return library.add(cell)
+
+
+def build_library(tech: Technology, drives: Sequence[int] = (1, 2)) -> CellLibrary:
+    """Construct the full library for ``tech`` at the given drive strengths."""
+    lib = CellLibrary(tech)
+    for x in drives:
+        _make_cell(
+            lib, f"INV_X{x}", "inv", ["A"], ["A"],
+            lambda v: not v["A"],
+            pd_branches=[[0]], pu_branches=[[0]], drive=x,
+        )
+        _make_cell(
+            lib, f"BUF_X{x}", "buf", ["A"], ["A", "zint"],
+            lambda v: v["A"],
+            pd_branches=[[1]], pu_branches=[[1]], drive=x,
+        )
+        _make_cell(
+            lib, f"NAND2_X{x}", "nand", ["A", "B"], ["A", "B"],
+            lambda v: not (v["A"] and v["B"]),
+            pd_branches=[[0, 1]], pu_branches=[[0], [1]], drive=x,
+        )
+        _make_cell(
+            lib, f"NAND3_X{x}", "nand", ["A", "B", "C"], ["A", "B", "C"],
+            lambda v: not (v["A"] and v["B"] and v["C"]),
+            pd_branches=[[0, 1, 2]], pu_branches=[[0], [1], [2]], drive=x,
+        )
+        _make_cell(
+            lib, f"NOR2_X{x}", "nor", ["A", "B"], ["A", "B"],
+            lambda v: not (v["A"] or v["B"]),
+            pd_branches=[[0], [1]], pu_branches=[[0, 1]], drive=x,
+        )
+        _make_cell(
+            lib, f"NOR3_X{x}", "nor", ["A", "B", "C"], ["A", "B", "C"],
+            lambda v: not (v["A"] or v["B"] or v["C"]),
+            pd_branches=[[0], [1], [2]], pu_branches=[[0, 1, 2]], drive=x,
+        )
+        _make_cell(
+            lib, f"AOI21_X{x}", "aoi", ["A1", "A2", "B"], ["A1", "A2", "B"],
+            lambda v: not ((v["A1"] and v["A2"]) or v["B"]),
+            pd_branches=[[0, 1], [2]], pu_branches=[[0, 2], [1, 2]], drive=x,
+        )
+        _make_cell(
+            lib, f"OAI21_X{x}", "oai", ["A1", "A2", "B"], ["A1", "A2", "B"],
+            lambda v: not ((v["A1"] or v["A2"]) and v["B"]),
+            pd_branches=[[0, 2], [1, 2]], pu_branches=[[0, 1], [2]], drive=x,
+        )
+        _make_cell(
+            lib, f"XOR2_X{x}", "xor", ["A", "B"],
+            ["A", "B", "A", "B", "a_n", "b_n"],
+            lambda v: v["A"] != v["B"],
+            pd_branches=[[2, 3], [4, 5]], pu_branches=[[2, 5], [4, 3]], drive=x,
+        )
+        _make_cell(
+            lib, f"XNOR2_X{x}", "xnor", ["A", "B"],
+            ["A", "B", "A", "B", "a_n", "b_n"],
+            lambda v: v["A"] == v["B"],
+            pd_branches=[[2, 5], [4, 3]], pu_branches=[[2, 3], [4, 5]], drive=x,
+        )
+        _make_cell(
+            lib, f"DFF_X{x}", "dff", ["D"],
+            ["D", "CK", "ck_n", "m1", "m2", "s1", "s2", "q_int"],
+            lambda v: v["D"],
+            pd_branches=[[7]], pu_branches=[[7]], drive=x,
+            output="Q", clock="CK", is_sequential=True,
+        )
+    return lib

@@ -1,0 +1,182 @@
+"""Standard-cell data model.
+
+A :class:`StandardCell` couples three views of the same cell:
+
+* the *logical* view (pins, boolean function),
+* the *electrical* view (transistors plus the series/parallel topology of
+  the pull-up and pull-down networks),
+* the *physical* view (a generated layout :class:`~repro.gds.Cell`).
+
+The physical-electrical link is the heart of this reproduction: every
+:class:`Transistor` records its gate rectangle in cell coordinates, which is
+where the post-OPC flow measures the printed critical dimension that is then
+back-annotated into timing through :meth:`StandardCell.network_strength`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.gds import Cell
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A logical pin with its physical access geometry."""
+
+    name: str
+    direction: str  # "input" | "output" | "clock"
+    shape: Rect
+
+    def __post_init__(self):
+        if self.direction not in ("input", "output", "clock"):
+            raise ValueError(f"bad pin direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOSFET of a cell, with its gate region in cell coordinates."""
+
+    name: str
+    mos_type: str  # "n" | "p"
+    gate_pin: str
+    width: float
+    length: float
+    gate_rect: Rect
+
+    def __post_init__(self):
+        if self.mos_type not in ("n", "p"):
+            raise ValueError(f"bad mos_type {self.mos_type!r}")
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("transistor dimensions must be positive")
+
+    @property
+    def wl_ratio(self) -> float:
+        return self.width / self.length
+
+
+@dataclass
+class StandardCell:
+    """A library cell: logic + transistor networks + generated layout.
+
+    ``pull_down_branches`` / ``pull_up_branches`` describe the switching
+    networks as lists of series chains: each branch is a list of transistor
+    names connected in series; the branches are in parallel.  A
+    parallel-inside-series network (e.g. the AOI21 pull-up) is expressed by
+    enumerating one branch per series path.
+    """
+
+    name: str
+    kind: str
+    inputs: List[str]
+    output: str
+    function: Callable[[Mapping[str, bool]], bool]
+    layout: Cell
+    transistors: List[Transistor]
+    pins: Dict[str, Pin]
+    pull_down_branches: List[List[str]]
+    pull_up_branches: List[List[str]]
+    width: float
+    height: float
+    drive: int = 1
+    clock: Optional[str] = None
+    is_sequential: bool = False
+
+    def __post_init__(self):
+        by_name = {t.name: t for t in self.transistors}
+        for branch in self.pull_down_branches + self.pull_up_branches:
+            for device in branch:
+                if device not in by_name:
+                    raise ValueError(f"branch references unknown transistor {device!r}")
+        self._by_name = by_name
+
+    def evaluate(self, values: Mapping[str, bool]) -> bool:
+        """Evaluate the cell's boolean function on named input values."""
+        missing = [pin for pin in self.inputs if pin not in values]
+        if missing:
+            raise KeyError(f"missing input values for {missing} of {self.name}")
+        return bool(self.function(values))
+
+    # -- electrical summaries used by timing characterization ---------------
+
+    def transistor(self, name: str) -> Transistor:
+        return self._by_name[name]
+
+    def transistors_on_pin(self, pin: str) -> List[Transistor]:
+        return [t for t in self.transistors if t.gate_pin == pin]
+
+    def input_capacitance(self, pin: str, cox_af_per_nm2: float) -> float:
+        """Gate capacitance seen at ``pin`` in femtofarads."""
+        attos = sum(t.width * t.length * cox_af_per_nm2 for t in self.transistors_on_pin(pin))
+        return attos / 1000.0
+
+    def network_strength(
+        self,
+        mos_type: str,
+        dimension_overrides: Optional[Mapping[str, Tuple[float, float]]] = None,
+    ) -> float:
+        """Worst-case equivalent W/L of the pull-up ("p") or pull-down ("n").
+
+        Series devices in a branch combine harmonically (conductances in
+        series); the worst case over parallel branches is the *weakest*
+        branch, because a single switching input conducts through exactly
+        one series path.  ``dimension_overrides`` maps transistor name to a
+        ``(width, length)`` pair — this is how post-OPC extracted CDs derate
+        an instance without re-characterizing the library.
+        """
+        branches = self.pull_down_branches if mos_type == "n" else self.pull_up_branches
+        if not branches:
+            raise ValueError(f"cell {self.name} has no {mos_type!r} network")
+        overrides = dimension_overrides or {}
+        strengths = []
+        for branch in branches:
+            resistance = 0.0
+            for device in branch:
+                t = self._by_name[device]
+                width, length = overrides.get(device, (t.width, t.length))
+                resistance += length / width
+            strengths.append(1.0 / resistance)
+        return min(strengths)
+
+    def gate_rects(self) -> Dict[str, Rect]:
+        """Gate regions by transistor name, in cell coordinates."""
+        return {t.name: t.gate_rect for t in self.transistors}
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+def unate_inputs(cell: StandardCell) -> Dict[str, str]:
+    """Classify each input as 'positive', 'negative', 'non-unate' or
+    'independent' by exhaustive evaluation of the cell function."""
+    result: Dict[str, str] = {}
+    n = len(cell.inputs)
+    for i, pin in enumerate(cell.inputs):
+        rises = falls = False
+        for bits in range(1 << (n - 1)):
+            values = {}
+            k = 0
+            for j, name in enumerate(cell.inputs):
+                if j == i:
+                    continue
+                values[name] = bool((bits >> k) & 1)
+                k += 1
+            lo = cell.evaluate({**values, pin: False})
+            hi = cell.evaluate({**values, pin: True})
+            if lo != hi:
+                if hi:
+                    rises = True
+                else:
+                    falls = True
+        if rises and falls:
+            result[pin] = "non-unate"
+        elif rises:
+            result[pin] = "positive"
+        elif falls:
+            result[pin] = "negative"
+        else:
+            result[pin] = "independent"
+    return result

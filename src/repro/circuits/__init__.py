@@ -1,0 +1,33 @@
+"""Gate-level netlists and benchmark circuit generators."""
+
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.bench import C17_BENCH, parse_bench, write_bench
+from repro.circuits.verilog import parse_verilog, write_verilog
+from repro.circuits.testchip import testchip
+from repro.circuits.generators import (
+    array_multiplier,
+    kogge_stone_adder,
+    c17,
+    carry_select_adder,
+    inverter_chain,
+    random_logic,
+    ripple_carry_adder,
+)
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "C17_BENCH",
+    "parse_bench",
+    "write_bench",
+    "inverter_chain",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "array_multiplier",
+    "random_logic",
+    "c17",
+    "kogge_stone_adder",
+    "parse_verilog",
+    "write_verilog",
+    "testchip",
+]

@@ -1,0 +1,178 @@
+"""ISCAS-85 ``.bench`` format support.
+
+The .bench format is the lingua franca of the classic combinational
+benchmark suites (c17, c432, ...).  The parser maps .bench primitives onto
+the library: inverting gates map directly, non-inverting AND/OR expand into
+their inverting counterpart plus an inverter, and gates wider than the
+library's 3 inputs are decomposed into trees.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cells import CellLibrary
+from repro.circuits.netlist import Netlist, NetlistError
+
+#: The ISCAS-85 c17 benchmark, verbatim.
+C17_BENCH = """\
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+_LINE = re.compile(r"^\s*(\S+)\s*=\s*(\w+)\s*\(([^)]*)\)\s*$")
+_IO = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)\s*$")
+
+
+def parse_bench(text: str, library: CellLibrary, name: str = "bench",
+                drive: int = 1) -> Netlist:
+    """Parse .bench ``text`` into a :class:`Netlist` mapped onto ``library``."""
+    netlist = Netlist(name)
+    statements: List[Tuple[str, str, List[str]]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO.match(line)
+        if io_match:
+            kind, net = io_match.groups()
+            if kind == "INPUT":
+                netlist.add_input(_net(net))
+            else:
+                netlist.add_output(_net(net))
+            continue
+        gate_match = _LINE.match(line)
+        if not gate_match:
+            raise NetlistError(f"cannot parse .bench line: {raw!r}")
+        out, func, arg_text = gate_match.groups()
+        args = [_net(a.strip()) for a in arg_text.split(",") if a.strip()]
+        statements.append((_net(out), func.upper(), args))
+
+    builder = _BenchBuilder(netlist, library, drive)
+    for out, func, args in statements:
+        builder.emit(out, func, args)
+    netlist.validate(library)
+    return netlist
+
+
+def write_bench(netlist: Netlist, library: CellLibrary) -> str:
+    """Serialise a netlist of simple gates back to .bench text.
+
+    Only cells with a direct .bench equivalent are supported (INV, BUF,
+    NAND, NOR, XOR, XNOR).
+    """
+    kind_to_func = {"inv": "NOT", "buf": "BUFF", "nand": "NAND", "nor": "NOR",
+                    "xor": "XOR", "xnor": "XNOR"}
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({net})" for net in netlist.inputs)
+    lines.extend(f"OUTPUT({net})" for net in netlist.outputs)
+    for gate in netlist.gates.values():
+        cell = library[gate.cell_name]
+        if cell.kind not in kind_to_func:
+            raise NetlistError(f"cell kind {cell.kind!r} has no .bench equivalent")
+        args = ", ".join(gate.connections[pin] for pin in cell.inputs)
+        lines.append(f"{gate.connections[cell.output]} = {kind_to_func[cell.kind]}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def _net(token: str) -> str:
+    """Normalise a .bench signal token to a safe net name."""
+    return f"n{token}" if token.isdigit() else token
+
+
+class _BenchBuilder:
+    """Expands .bench primitives into library gates."""
+
+    def __init__(self, netlist: Netlist, library: CellLibrary, drive: int):
+        self.netlist = netlist
+        self.library = library
+        self.drive = drive
+        self._counter = 0
+
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}__w{self._counter}"
+
+    def _gate(self, cell_base: str, out: str, pins: Dict[str, str]) -> None:
+        cell_name = f"{cell_base}_X{self.drive}"
+        cell = self.library[cell_name]
+        connections = dict(pins)
+        connections[cell.output] = out
+        self.netlist.add_gate(f"g_{out}", cell_name, connections)
+
+    def emit(self, out: str, func: str, args: Sequence[str]) -> None:
+        if func in ("NOT", "INV"):
+            self._require_args(func, args, 1)
+            self._gate("INV", out, {"A": args[0]})
+        elif func in ("BUF", "BUFF"):
+            self._require_args(func, args, 1)
+            self._gate("BUF", out, {"A": args[0]})
+        elif func == "NAND":
+            self._inverting_tree("NAND", out, list(args))
+        elif func == "NOR":
+            self._inverting_tree("NOR", out, list(args))
+        elif func == "AND":
+            inner = self._fresh(out)
+            self._inverting_tree("NAND", inner, list(args))
+            self._gate("INV", out, {"A": inner})
+        elif func == "OR":
+            inner = self._fresh(out)
+            self._inverting_tree("NOR", inner, list(args))
+            self._gate("INV", out, {"A": inner})
+        elif func == "XOR":
+            self._xor_tree("XOR2", out, list(args))
+        elif func == "XNOR":
+            self._require_args(func, args, 2)
+            self._gate("XNOR2", out, {"A": args[0], "B": args[1]})
+        else:
+            raise NetlistError(f"unsupported .bench function {func!r}")
+
+    def _require_args(self, func: str, args: Sequence[str], n: int) -> None:
+        if len(args) != n:
+            raise NetlistError(f"{func} expects {n} args, got {len(args)}")
+
+    def _inverting_tree(self, base: str, out: str, args: List[str]) -> None:
+        """NAND/NOR of any width via 2/3-input cells plus De Morgan stages.
+
+        NAND(a,b,c,d) = NAND(AND(a,b,..), ...) is built as a tree of the
+        non-inverted reduction with a final inverting gate.
+        """
+        if len(args) == 1:
+            self._gate("INV", out, {"A": args[0]})
+            return
+        if len(args) == 2:
+            self._gate(f"{base}2", out, {"A": args[0], "B": args[1]})
+            return
+        if len(args) == 3:
+            self._gate(f"{base}3", out, {"A": args[0], "B": args[1], "C": args[2]})
+            return
+        # Reduce the first three inputs: x = INV(BASE3(a,b,c)) gives AND/OR.
+        head = self._fresh(out)
+        head_pos = self._fresh(out)
+        self._gate(f"{base}3", head, {"A": args[0], "B": args[1], "C": args[2]})
+        self._gate("INV", head_pos, {"A": head})
+        self._inverting_tree(base, out, [head_pos] + args[3:])
+
+    def _xor_tree(self, base: str, out: str, args: List[str]) -> None:
+        if len(args) == 1:
+            self._gate("BUF", out, {"A": args[0]})
+            return
+        if len(args) == 2:
+            self._gate(base, out, {"A": args[0], "B": args[1]})
+            return
+        inner = self._fresh(out)
+        self._gate(base, inner, {"A": args[0], "B": args[1]})
+        self._xor_tree(base, out, [inner] + args[2:])

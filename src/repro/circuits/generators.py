@@ -1,0 +1,311 @@
+"""Benchmark circuit generators.
+
+These synthesize the gate-level designs the evaluation runs on: an inverter
+chain (litho/timing calibration), ripple-carry and carry-select adders (the
+classic speed-path workloads), an array multiplier (large, deep design), the
+ISCAS-85 c17, and seeded random logic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.cells import CellLibrary
+from repro.circuits.bench import C17_BENCH, parse_bench
+from repro.circuits.netlist import Netlist
+
+
+def inverter_chain(length: int, drive: int = 1, name: str = "invchain") -> Netlist:
+    """A chain of ``length`` inverters from net in0 to net out."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    netlist = Netlist(name)
+    netlist.add_input("in0")
+    prev = "in0"
+    for i in range(length):
+        out = "out" if i == length - 1 else f"w{i}"
+        netlist.add_gate(f"inv{i}", f"INV_X{drive}", {"A": prev, "Z": out})
+        prev = out
+    netlist.add_output("out")
+    return netlist
+
+
+def _full_adder(netlist: Netlist, a: str, b: str, cin: str, s: str, cout: str,
+                prefix: str, drive: int) -> None:
+    """Sum = a^b^cin; cout = NAND(NAND(a,b), NAND(a^b, cin))."""
+    x1 = f"{prefix}_x1"
+    n1 = f"{prefix}_n1"
+    n2 = f"{prefix}_n2"
+    netlist.add_gate(f"{prefix}_gx1", f"XOR2_X{drive}", {"A": a, "B": b, "Z": x1})
+    netlist.add_gate(f"{prefix}_gs", f"XOR2_X{drive}", {"A": x1, "B": cin, "Z": s})
+    netlist.add_gate(f"{prefix}_gn1", f"NAND2_X{drive}", {"A": a, "B": b, "Z": n1})
+    netlist.add_gate(f"{prefix}_gn2", f"NAND2_X{drive}", {"A": x1, "B": cin, "Z": n2})
+    netlist.add_gate(f"{prefix}_gco", f"NAND2_X{drive}", {"A": n1, "B": n2, "Z": cout})
+
+
+def ripple_carry_adder(bits: int, drive: int = 1, name: str = "rca") -> Netlist:
+    """A ``bits``-wide ripple-carry adder: a[i] + b[i] + cin -> s[i], cout."""
+    if bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    netlist = Netlist(f"{name}{bits}")
+    for i in range(bits):
+        netlist.add_input(f"a{i}")
+        netlist.add_input(f"b{i}")
+    netlist.add_input("cin")
+    carry = "cin"
+    for i in range(bits):
+        cout = "cout" if i == bits - 1 else f"c{i}"
+        _full_adder(netlist, f"a{i}", f"b{i}", carry, f"s{i}", cout, f"fa{i}", drive)
+        netlist.add_output(f"s{i}")
+        carry = cout
+    netlist.add_output("cout")
+    return netlist
+
+
+def _mux2(netlist: Netlist, sel: str, d0: str, d1: str, out: str, prefix: str,
+          drive: int) -> None:
+    """out = d1 if sel else d0, as NAND(NAND(d0, !sel), NAND(d1, sel))."""
+    sel_n = f"{prefix}_seln"
+    m0 = f"{prefix}_m0"
+    m1 = f"{prefix}_m1"
+    netlist.add_gate(f"{prefix}_gi", f"INV_X{drive}", {"A": sel, "Z": sel_n})
+    netlist.add_gate(f"{prefix}_g0", f"NAND2_X{drive}", {"A": d0, "B": sel_n, "Z": m0})
+    netlist.add_gate(f"{prefix}_g1", f"NAND2_X{drive}", {"A": d1, "B": sel, "Z": m1})
+    netlist.add_gate(f"{prefix}_gm", f"NAND2_X{drive}", {"A": m0, "B": m1, "Z": out})
+
+
+def carry_select_adder(bits: int, block: int = 4, drive: int = 1,
+                       name: str = "csa") -> Netlist:
+    """A carry-select adder: per block, compute both carry assumptions and
+    select with the incoming carry."""
+    if bits < 1 or block < 1:
+        raise ValueError("bits and block must be >= 1")
+    netlist = Netlist(f"{name}{bits}")
+    for i in range(bits):
+        netlist.add_input(f"a{i}")
+        netlist.add_input(f"b{i}")
+    netlist.add_input("cin")
+
+    carry = "cin"
+    bit = 0
+    blk = 0
+    while bit < bits:
+        size = min(block, bits - bit)
+        if blk == 0:
+            # First block: plain ripple, the carry-in is primary.
+            for j in range(bit, bit + size):
+                cout = f"c{j}"
+                _full_adder(netlist, f"a{j}", f"b{j}", carry, f"s{j}", cout,
+                            f"b0_fa{j}", drive)
+                netlist.add_output(f"s{j}")
+                carry = cout
+        else:
+            # Two speculative ripples (cin=0 via constant from a&!a is
+            # avoided: instead both chains start from the two mux legs).
+            c0 = f"blk{blk}_zero"
+            c1 = f"blk{blk}_one"
+            # Constant 0 = NOR(x, !x), constant 1 = NAND(x, !x) on a0.
+            base = f"blk{blk}"
+            netlist.add_gate(f"{base}_ci", f"INV_X{drive}", {"A": "a0", "Z": f"{base}_a0n"})
+            netlist.add_gate(f"{base}_g0", f"NOR2_X{drive}",
+                             {"A": "a0", "B": f"{base}_a0n", "Z": c0})
+            netlist.add_gate(f"{base}_g1", f"NAND2_X{drive}",
+                             {"A": "a0", "B": f"{base}_a0n", "Z": c1})
+            carry0, carry1 = c0, c1
+            for j in range(bit, bit + size):
+                s0, s1 = f"{base}_s0_{j}", f"{base}_s1_{j}"
+                n0, n1 = f"{base}_c0_{j}", f"{base}_c1_{j}"
+                _full_adder(netlist, f"a{j}", f"b{j}", carry0, s0, n0,
+                            f"{base}_fa0_{j}", drive)
+                _full_adder(netlist, f"a{j}", f"b{j}", carry1, s1, n1,
+                            f"{base}_fa1_{j}", drive)
+                _mux2(netlist, carry, s0, s1, f"s{j}", f"{base}_muxs{j}", drive)
+                netlist.add_output(f"s{j}")
+                carry0, carry1 = n0, n1
+            new_carry = f"c{bit + size - 1}"
+            _mux2(netlist, carry, carry0, carry1, new_carry, f"{base}_muxc", drive)
+            carry = new_carry
+        bit += size
+        blk += 1
+    netlist.add_gate("gcout", f"BUF_X{drive}", {"A": carry, "Z": "cout"})
+    netlist.add_output("cout")
+    return netlist
+
+
+def array_multiplier(bits: int, drive: int = 1, name: str = "mult") -> Netlist:
+    """An unsigned ``bits`` x ``bits`` schoolbook array multiplier.
+
+    Partial-product rows are accumulated with ripple chains; the critical
+    path snakes through the adder array, giving the deep, reconvergent
+    timing structure the evaluation wants.
+    """
+    if bits < 2:
+        raise ValueError("multiplier needs at least 2 bits")
+    netlist = Netlist(f"{name}{bits}")
+    for i in range(bits):
+        netlist.add_input(f"a{i}")
+        netlist.add_input(f"b{i}")
+
+    def partial(i: int, j: int) -> str:
+        """pp = a_i AND b_j = INV(NAND(a_i, b_j))."""
+        nname = f"pp_n_{i}_{j}"
+        pname = f"pp_{i}_{j}"
+        netlist.add_gate(f"gppn_{i}_{j}", f"NAND2_X{drive}",
+                         {"A": f"a{i}", "B": f"b{j}", "Z": nname})
+        netlist.add_gate(f"gpp_{i}_{j}", f"INV_X{drive}", {"A": nname, "Z": pname})
+        return pname
+
+    def half_adder(a: str, b: str, s: str, c: str, prefix: str) -> None:
+        netlist.add_gate(f"{prefix}_gx", f"XOR2_X{drive}", {"A": a, "B": b, "Z": s})
+        nn = f"{prefix}_nn"
+        netlist.add_gate(f"{prefix}_gn", f"NAND2_X{drive}", {"A": a, "B": b, "Z": nn})
+        netlist.add_gate(f"{prefix}_gc", f"INV_X{drive}", {"A": nn, "Z": c})
+
+    # acc[k] is bit k of the accumulated product so far.
+    acc: List[str] = [partial(i, 0) for i in range(bits)]
+    for j in range(1, bits):
+        row = [partial(i, j) for i in range(bits)]
+        carry = ""
+        for i in range(bits):
+            pos = j + i
+            s = f"s_{j}_{pos}"
+            c = f"c_{j}_{pos}"
+            if pos < len(acc):
+                if carry:
+                    _full_adder(netlist, acc[pos], row[i], carry, s, c,
+                                f"fa_{j}_{pos}", drive)
+                else:
+                    half_adder(acc[pos], row[i], s, c, f"ha_{j}_{pos}")
+                acc[pos] = s
+            else:
+                if carry:
+                    half_adder(row[i], carry, s, c, f"ha_{j}_{pos}")
+                    acc.append(s)
+                else:
+                    acc.append(row[i])
+                    carry = ""
+                    continue
+            carry = c
+        if carry:
+            acc.append(carry)
+
+    for k, net in enumerate(acc):
+        netlist.add_gate(f"gp{k}", f"BUF_X{drive}", {"A": net, "Z": f"p{k}"})
+        netlist.add_output(f"p{k}")
+    return netlist
+
+
+def kogge_stone_adder(bits: int, drive: int = 1, name: str = "ksa") -> Netlist:
+    """A Kogge-Stone parallel-prefix adder.
+
+    Logarithmic depth with heavy fanout on the prefix tree — the opposite
+    timing structure to the ripple-carry adder, and a classic fanout
+    stressor for the STA engine.
+    """
+    if bits < 2:
+        raise ValueError("prefix adder needs at least 2 bits")
+    netlist = Netlist(f"{name}{bits}")
+    for i in range(bits):
+        netlist.add_input(f"a{i}")
+        netlist.add_input(f"b{i}")
+
+    generate: List[str] = []
+    propagate: List[str] = []
+    for i in range(bits):
+        g = f"g0_{i}"
+        p = f"p0_{i}"
+        gn = f"g0n_{i}"
+        netlist.add_gate(f"gg_{i}", f"NAND2_X{drive}",
+                         {"A": f"a{i}", "B": f"b{i}", "Z": gn})
+        netlist.add_gate(f"gi_{i}", f"INV_X{drive}", {"A": gn, "Z": g})
+        netlist.add_gate(f"gp_{i}", f"XOR2_X{drive}",
+                         {"A": f"a{i}", "B": f"b{i}", "Z": p})
+        generate.append(g)
+        propagate.append(p)
+
+    # Prefix tree: (g, p) o (g', p') = (g + p g', p p').
+    level = 1
+    stage = 0
+    while level < bits:
+        new_g = list(generate)
+        new_p = list(propagate)
+        for i in range(level, bits):
+            j = i - level
+            prefix = f"s{stage}_{i}"
+            # g_new = g_i OR (p_i AND g_j) = NAND(NAND(p_i, g_j), INV(g_i))
+            t1 = f"{prefix}_t1"
+            t2 = f"{prefix}_t2"
+            g_new = f"{prefix}_g"
+            netlist.add_gate(f"{prefix}_ga", f"NAND2_X{drive}",
+                             {"A": propagate[i], "B": generate[j], "Z": t1})
+            netlist.add_gate(f"{prefix}_gb", f"INV_X{drive}",
+                             {"A": generate[i], "Z": t2})
+            netlist.add_gate(f"{prefix}_gc", f"NAND2_X{drive}",
+                             {"A": t1, "B": t2, "Z": g_new})
+            new_g[i] = g_new
+            if j >= level or i >= 2 * level - 1:
+                # p_new = p_i AND p_j (only needed while the span grows).
+                t3 = f"{prefix}_t3"
+                p_new = f"{prefix}_p"
+                netlist.add_gate(f"{prefix}_pa", f"NAND2_X{drive}",
+                                 {"A": propagate[i], "B": propagate[j], "Z": t3})
+                netlist.add_gate(f"{prefix}_pb", f"INV_X{drive}",
+                                 {"A": t3, "Z": p_new})
+                new_p[i] = p_new
+        generate, propagate = new_g, new_p
+        level *= 2
+        stage += 1
+
+    # Sums: s_i = p0_i XOR carry_{i-1}; carry_{i-1} = prefix generate of i-1.
+    netlist.add_gate("gs0", f"BUF_X{drive}", {"A": f"p0_0", "Z": "s0"})
+    netlist.add_output("s0")
+    for i in range(1, bits):
+        netlist.add_gate(f"gs{i}", f"XOR2_X{drive}",
+                         {"A": f"p0_{i}", "B": generate[i - 1], "Z": f"s{i}"})
+        netlist.add_output(f"s{i}")
+    netlist.add_gate("gcout", f"BUF_X{drive}", {"A": generate[bits - 1], "Z": "cout"})
+    netlist.add_output("cout")
+    return netlist
+
+
+def random_logic(n_gates: int, n_inputs: int = 8, seed: int = 0,
+                 drive: int = 1, name: str = "rand") -> Netlist:
+    """A seeded random combinational DAG over the 2-input library cells."""
+    if n_gates < 1 or n_inputs < 2:
+        raise ValueError("need at least 1 gate and 2 inputs")
+    rng = random.Random(seed)
+    netlist = Netlist(f"{name}{n_gates}")
+    available: List[str] = []
+    for i in range(n_inputs):
+        netlist.add_input(f"in{i}")
+        available.append(f"in{i}")
+    two_input = ["NAND2", "NOR2", "XOR2", "XNOR2"]
+    one_input = ["INV", "BUF"]
+    for g in range(n_gates):
+        out = f"w{g}"
+        if rng.random() < 0.2:
+            base = rng.choice(one_input)
+            a = rng.choice(available)
+            netlist.add_gate(f"g{g}", f"{base}_X{drive}", {"A": a, "Z": out})
+        else:
+            base = rng.choice(two_input)
+            a, b = rng.sample(available, 2)
+            netlist.add_gate(f"g{g}", f"{base}_X{drive}", {"A": a, "B": b, "Z": out})
+        available.append(out)
+    # Outputs: every net that drives nothing.
+    used = set()
+    for gate in netlist.gates.values():
+        for pin, net in gate.connections.items():
+            if pin != "Z":
+                used.add(net)
+    for g in range(n_gates):
+        net = f"w{g}"
+        if net not in used:
+            netlist.add_output(net)
+    return netlist
+
+
+def c17(library: CellLibrary, drive: int = 1) -> Netlist:
+    """The ISCAS-85 c17 benchmark mapped onto the library."""
+    return parse_bench(C17_BENCH, library, name="c17", drive=drive)

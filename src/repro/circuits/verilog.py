@@ -1,0 +1,102 @@
+"""Structural Verilog interchange (gate-level subset).
+
+Writes and reads the flat, named-port structural netlists that EDA tools
+exchange:
+
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire w1;
+      NAND2_X1 g1 (.A(a), .B(b), .Z(w1));
+      INV_X1 g2 (.A(w1), .Z(y));
+    endmodule
+
+Only this subset is supported: one module, scalar nets, named port
+connections, library cells.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.cells import CellLibrary
+from repro.circuits.netlist import Netlist, NetlistError
+
+_MODULE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;", re.S)
+_DECL = re.compile(r"(input|output|wire)\s+([^;]+);")
+_INSTANCE = re.compile(r"(\w+)\s+(\w+)\s*\(([^;]*)\)\s*;", re.S)
+_PIN = re.compile(r"\.(\w+)\s*\(\s*(\w+)\s*\)")
+
+
+def write_verilog(netlist: Netlist, library: CellLibrary) -> str:
+    """Serialise a netlist as flat structural Verilog."""
+    ports = list(netlist.inputs) + list(netlist.outputs)
+    lines = [f"module {_identifier(netlist.name)} ({', '.join(ports)});"]
+    if netlist.inputs:
+        lines.append(f"  input {', '.join(netlist.inputs)};")
+    if netlist.outputs:
+        lines.append(f"  output {', '.join(netlist.outputs)};")
+    wires = sorted(
+        netlist.nets(library) - set(netlist.inputs) - set(netlist.outputs)
+    )
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+    for gate in netlist.gates.values():
+        pins = ", ".join(
+            f".{pin}({net})" for pin, net in sorted(gate.connections.items())
+        )
+        lines.append(f"  {gate.cell_name} {gate.name} ({pins});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def parse_verilog(text: str, library: CellLibrary) -> Netlist:
+    """Parse the structural subset back into a :class:`Netlist`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    module = _MODULE.search(text)
+    if not module:
+        raise NetlistError("no module declaration found")
+    name, _ = module.groups()
+    netlist = Netlist(name)
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError("missing endmodule")
+    body = body[:end]
+
+    declared: Dict[str, str] = {}
+    for kind, nets in _DECL.findall(body):
+        for net in nets.replace("\n", " ").split(","):
+            net = net.strip()
+            if net:
+                declared[net] = kind
+    for net, kind in declared.items():
+        if kind == "input":
+            netlist.add_input(net)
+        elif kind == "output":
+            netlist.add_output(net)
+
+    body_wo_decls = _DECL.sub("", body)
+    for cell_name, inst_name, pin_text in _INSTANCE.findall(body_wo_decls):
+        if cell_name in ("module", "input", "output", "wire"):
+            continue
+        if cell_name not in library:
+            raise NetlistError(f"unknown cell {cell_name!r} for instance {inst_name}")
+        connections = {pin: net for pin, net in _PIN.findall(pin_text)}
+        if not connections:
+            raise NetlistError(
+                f"instance {inst_name} uses positional ports; only named "
+                "connections are supported"
+            )
+        netlist.add_gate(inst_name, cell_name, connections)
+    netlist.validate(library)
+    return netlist
+
+
+def _identifier(name: str) -> str:
+    """Make a netlist name a legal Verilog identifier."""
+    cleaned = re.sub(r"\W", "_", name)
+    return cleaned if cleaned and not cleaned[0].isdigit() else f"m_{cleaned}"

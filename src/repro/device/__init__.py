@@ -1,0 +1,17 @@
+"""Analytic device models: alpha-power MOSFET and non-rectangular gates."""
+
+from repro.device.mosfet import AlphaPowerModel
+from repro.device.nrg import (
+    NrgResult,
+    equivalent_length_drive,
+    equivalent_length_leakage,
+    extract_equivalent_lengths,
+)
+
+__all__ = [
+    "AlphaPowerModel",
+    "NrgResult",
+    "equivalent_length_drive",
+    "equivalent_length_leakage",
+    "extract_equivalent_lengths",
+]

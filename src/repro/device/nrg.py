@@ -1,0 +1,144 @@
+"""Non-rectangular-gate (NRG) equivalent transistors.
+
+Printed gates are not rectangles: corner rounding, endcap pullback, and
+flare near the gate contact make the channel length vary along the width.
+Following Poppe et al. ("From poly line to transistor"), the printed gate
+is cut into rectangular slices; the *drive* equivalent length makes a
+rectangular device match the summed slice on-current, while the *leakage*
+equivalent length matches the summed slice off-current.  Because leakage
+is exponential in Vth(L), the two differ: the narrowest slices dominate
+leakage but barely move the drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.device.mosfet import AlphaPowerModel
+from repro.metrology.gate_cd import GateCdMeasurement
+
+
+@dataclass(frozen=True)
+class NrgResult:
+    """Equivalent-rectangle view of one printed transistor."""
+
+    width: float
+    drawn_length: float
+    length_drive: float
+    length_leakage: float
+    failed: bool = False
+
+    @property
+    def drive_delta(self) -> float:
+        """Printed-minus-drawn delay-relevant CD (nm)."""
+        return self.length_drive - self.drawn_length
+
+    @property
+    def leakage_delta(self) -> float:
+        return self.length_leakage - self.drawn_length
+
+
+def _solve_equivalent_length(
+    total_current: float,
+    width: float,
+    current_of_length,
+    lo: float,
+    hi: float,
+    tol: float = 1e-4,
+) -> float:
+    """Bisection for L_eq with I(width, L_eq) = total_current.
+
+    ``current_of_length`` must be monotonically decreasing in L.
+    """
+    f_lo = current_of_length(lo) - total_current
+    f_hi = current_of_length(hi) - total_current
+    if f_lo <= 0:
+        return lo
+    if f_hi >= 0:
+        return hi
+    for _ in range(100):
+        mid = (lo + hi) / 2
+        if current_of_length(mid) > total_current:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return (lo + hi) / 2
+
+
+def equivalent_length_drive(
+    slice_cds: Sequence[float],
+    slice_widths: Sequence[float],
+    model: AlphaPowerModel,
+    search_lo: float = 20.0,
+    search_hi: float = 300.0,
+) -> float:
+    """Drive (on-current) equivalent gate length of a sliced gate."""
+    _validate(slice_cds, slice_widths)
+    total_width = sum(slice_widths)
+    total = sum(
+        model.drive_current(w, cd) for cd, w in zip(slice_cds, slice_widths) if cd > 0
+    )
+    return _solve_equivalent_length(
+        total, total_width, lambda L: model.drive_current(total_width, L),
+        search_lo, search_hi,
+    )
+
+
+def equivalent_length_leakage(
+    slice_cds: Sequence[float],
+    slice_widths: Sequence[float],
+    model: AlphaPowerModel,
+    search_lo: float = 20.0,
+    search_hi: float = 300.0,
+) -> float:
+    """Leakage (off-current) equivalent gate length of a sliced gate."""
+    _validate(slice_cds, slice_widths)
+    total_width = sum(slice_widths)
+    total = sum(
+        model.leakage_current(w, cd) for cd, w in zip(slice_cds, slice_widths) if cd > 0
+    )
+    return _solve_equivalent_length(
+        total, total_width, lambda L: model.leakage_current(total_width, L),
+        search_lo, search_hi,
+    )
+
+
+def extract_equivalent_lengths(
+    measurement: GateCdMeasurement,
+    model: AlphaPowerModel,
+    width: Optional[float] = None,
+) -> NrgResult:
+    """Equivalent lengths straight from a metrology measurement.
+
+    A gate with any open slice (CD 0) is flagged ``failed``: its channel is
+    uncontrolled and no equivalent rectangle is meaningful; callers treat
+    such instances as yield losses rather than timing derates.
+    """
+    slice_widths = measurement.slice_widths()
+    gate_width = width if width is not None else sum(slice_widths)
+    if not measurement.printed:
+        return NrgResult(
+            width=gate_width,
+            drawn_length=measurement.drawn_cd,
+            length_drive=measurement.drawn_cd,
+            length_leakage=measurement.drawn_cd,
+            failed=True,
+        )
+    return NrgResult(
+        width=gate_width,
+        drawn_length=measurement.drawn_cd,
+        length_drive=equivalent_length_drive(measurement.slice_cds, slice_widths, model),
+        length_leakage=equivalent_length_leakage(measurement.slice_cds, slice_widths, model),
+    )
+
+
+def _validate(slice_cds: Sequence[float], slice_widths: Sequence[float]) -> None:
+    if len(slice_cds) != len(slice_widths):
+        raise ValueError("slice_cds and slice_widths must have equal length")
+    if not slice_cds:
+        raise ValueError("need at least one slice")
+    if not any(cd > 0 for cd in slice_cds):
+        raise ValueError("all slices are open; no channel to model")

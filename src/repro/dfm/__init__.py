@@ -1,0 +1,29 @@
+"""Design-for-manufacturability add-ons: flexible rules, yield, hotspots."""
+
+from repro.dfm.flexible import FdrLimits, FdrVerdict, explore_pitch_rules
+from repro.dfm.yield_model import (
+    ExposureDistribution,
+    YieldResult,
+    process_window_yield,
+)
+from repro.dfm.hotspots import (
+    HotspotClass,
+    HotspotLibrary,
+    Snippet,
+    cluster_snippets,
+    extract_snippets,
+)
+
+__all__ = [
+    "FdrLimits",
+    "FdrVerdict",
+    "explore_pitch_rules",
+    "ExposureDistribution",
+    "YieldResult",
+    "process_window_yield",
+    "Snippet",
+    "HotspotClass",
+    "HotspotLibrary",
+    "extract_snippets",
+    "cluster_snippets",
+]

@@ -1,0 +1,102 @@
+"""Flexible design rules (FDR) from image parameters.
+
+The companion work of the same authors ("Layout verification and
+optimization based on flexible design rules", Yang/Sylvester/Capodieci)
+replaces the single pass/fail minimum-pitch rule with a printability
+*classification* derived from simulated image parameters.  Here each
+candidate (width, pitch) configuration is scored by NILS, MEEF and
+printed-CD fidelity, and binned into preferred / allowed / flagged —
+exactly the yield-versus-density trade the FDR methodology exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.litho.metrics import grating_meef, grating_nils
+from repro.litho.resist import NOMINAL, ProcessCondition
+from repro.litho.simulator import LithographySimulator, cd_through_pitch
+
+
+@dataclass(frozen=True)
+class FdrLimits:
+    """Image-parameter thresholds for the rule classes."""
+
+    nils_preferred: float = 0.85
+    nils_allowed: float = 0.55
+    meef_preferred: float = 2.5
+    meef_allowed: float = 4.0
+    cd_error_preferred: float = 5.0   # nm, |printed - drawn| without OPC
+    cd_error_allowed: float = 15.0
+
+
+@dataclass(frozen=True)
+class FdrVerdict:
+    """Printability scoring of one layout configuration."""
+
+    line_width: float
+    pitch: float
+    printed_cd: float
+    nils: float
+    meef: float
+    classification: str  # "preferred" | "allowed" | "flagged"
+
+    @property
+    def cd_error(self) -> float:
+        return self.printed_cd - self.line_width
+
+
+def classify(
+    line_width: float,
+    pitch: float,
+    printed_cd: float,
+    nils: float,
+    meef: float,
+    limits: FdrLimits,
+) -> str:
+    """Bin one configuration by its image parameters."""
+    if printed_cd == 0.0:
+        return "flagged"
+    cd_error = abs(printed_cd - line_width)
+    if (nils >= limits.nils_preferred and meef <= limits.meef_preferred
+            and cd_error <= limits.cd_error_preferred):
+        return "preferred"
+    if (nils >= limits.nils_allowed and meef <= limits.meef_allowed
+            and cd_error <= limits.cd_error_allowed):
+        return "allowed"
+    return "flagged"
+
+
+def explore_pitch_rules(
+    simulator: LithographySimulator,
+    line_width: float,
+    pitches: Sequence[float],
+    limits: FdrLimits = FdrLimits(),
+    condition: ProcessCondition = NOMINAL,
+) -> List[FdrVerdict]:
+    """Score a through-pitch sweep of the gate layer.
+
+    This is the FDR exploration a design-rule team runs before freezing
+    the poly pitch table: instead of one minimum pitch, every pitch gets a
+    printability class that layout tools may trade against density.
+    """
+    printed = dict(cd_through_pitch(simulator, line_width, list(pitches),
+                                    condition=condition))
+    verdicts = []
+    for pitch in pitches:
+        nils = grating_nils(simulator, line_width, pitch, condition=condition)
+        meef = grating_meef(simulator, line_width, pitch, condition=condition)
+        verdicts.append(
+            FdrVerdict(
+                line_width=line_width,
+                pitch=pitch,
+                printed_cd=printed[pitch],
+                nils=nils,
+                meef=meef,
+                classification=classify(
+                    line_width, pitch, printed[pitch], nils, meef, limits
+                ),
+            )
+        )
+    return verdicts

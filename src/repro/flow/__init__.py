@@ -1,0 +1,6 @@
+"""The paper's end-to-end flow: netlist to post-OPC back-annotated timing."""
+
+from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
+from repro.flow.export import export_flow_gds
+
+__all__ = ["FlowConfig", "FlowReport", "PostOpcTimingFlow", "export_flow_gds"]

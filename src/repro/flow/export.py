@@ -1,0 +1,57 @@
+"""GDSII export of flow artifacts.
+
+Writes one stream file carrying the design-intent poly, the OPC mask, and
+(optionally) simulated printed contours for a clip region — the layers a
+DFM engineer loads side by side to review a hotspot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.flow.postopc import FlowReport, PostOpcTimingFlow
+from repro.gds import Layout, write_gds
+from repro.geometry import Rect
+from repro.pdk import Layers
+
+
+def export_flow_gds(
+    flow: PostOpcTimingFlow,
+    report: FlowReport,
+    path: str,
+    contour_region: Optional[Rect] = None,
+) -> Layout:
+    """Write drawn + mask (+ printed contours) layers to ``path``.
+
+    ``contour_region``: if given, printed resist contours are simulated for
+    that clip and stored on the POLY printed-variant layer.  Returns the
+    in-memory layout (also written to disk).
+    """
+    # 0.1 nm database unit keeps the smooth simulated contours faithful.
+    layout = Layout(
+        name=f"{report.netlist_name.upper()}_{report.opc_mode.upper()}", unit_nm=0.1
+    )
+    top = layout.new_cell("FLOW")
+
+    for _, poly in flow.owned_polygons:
+        top.add_polygon(Layers.POLY, poly)
+    for poly in report.mask_polygons:
+        top.add_polygon(Layers.POLY_OPC, poly)
+
+    if contour_region is not None:
+        contours = flow.simulator.printed_contours(
+            report.mask_polygons, contour_region
+        )
+        for contour in contours:
+            # Contours are smooth polylines; snap to the 0.1 nm output grid
+            # so the int32 stream coordinates stay faithful.
+            top.add_polygon(Layers.POLY_PRINTED, contour.snapped(0.1))
+
+    # Annotate measured gates: a marker box per failed (unprintable) gate.
+    for gate_name in report.failed_gates:
+        for (owner, _), rect in flow.gate_rects.items():
+            if owner == gate_name:
+                top.add_rect(Layers.BOUNDARY, rect)
+
+    write_gds(layout, path)
+    return layout

@@ -1,0 +1,6 @@
+"""Hierarchical layout database and binary GDSII stream I/O."""
+
+from repro.gds.layout import Cell, Instance, LayerShapes, Layout
+from repro.gds.gdsii import read_gds, write_gds
+
+__all__ = ["Cell", "Instance", "LayerShapes", "Layout", "read_gds", "write_gds"]

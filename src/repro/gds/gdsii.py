@@ -1,0 +1,236 @@
+"""Binary GDSII stream format reader/writer.
+
+Implements the subset of GDSII needed for standard-cell layout exchange:
+``BOUNDARY`` elements and ``SREF`` references with the Manhattan subset of
+``STRANS``/``ANGLE``.  Coordinates are written as int32 database units; the
+database unit is 1 nm by default (``Layout.unit_nm``).
+
+The stream format is the classic Calma record stream: each record is a
+2-byte big-endian length (including the 4-byte header), a record type byte
+and a data type byte, followed by the payload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List, Union
+
+from repro.gds.layout import Cell, Layout
+from repro.geometry import Point, Polygon, Transform
+
+# Record types (subset).
+HEADER = 0x00
+BGNLIB = 0x01
+LIBNAME = 0x02
+UNITS = 0x03
+ENDLIB = 0x04
+BGNSTR = 0x05
+STRNAME = 0x06
+ENDSTR = 0x07
+BOUNDARY = 0x08
+SREF = 0x0A
+LAYER = 0x0D
+DATATYPE = 0x0E
+XY = 0x10
+ENDEL = 0x11
+SNAME = 0x12
+STRANS = 0x1A
+MAG = 0x1B
+ANGLE = 0x1C
+
+# Data type codes.
+NO_DATA = 0x00
+INT2 = 0x02
+INT4 = 0x03
+REAL8 = 0x05
+ASCII = 0x06
+
+_DUMMY_TIMESTAMP = [2005, 6, 13, 0, 0, 0] * 2  # DAC 2005 week; GDSII wants two
+
+
+def _to_gds_real8(value: float) -> bytes:
+    """Encode an excess-64, base-16 8-byte GDSII real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B", sign | exponent) + struct.pack(">Q", mantissa)[1:]
+
+
+def _from_gds_real8(data: bytes) -> float:
+    """Decode an excess-64, base-16 8-byte GDSII real."""
+    if len(data) != 8:
+        raise ValueError("REAL8 field must be 8 bytes")
+    first = data[0]
+    sign = -1.0 if first & 0x80 else 1.0
+    exponent = (first & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:], "big") / float(1 << 56)
+    return sign * mantissa * (16.0 ** exponent)
+
+
+def _record(rec_type: int, data_type: int, payload: bytes = b"") -> bytes:
+    if len(payload) % 2:
+        payload += b"\x00"  # ASCII fields pad to even length
+    return struct.pack(">HBB", len(payload) + 4, rec_type, data_type) + payload
+
+
+def _ascii_record(rec_type: int, text: str) -> bytes:
+    return _record(rec_type, ASCII, text.encode("ascii"))
+
+
+def write_gds(layout: Layout, path_or_file: Union[str, BinaryIO]) -> None:
+    """Serialise ``layout`` to a GDSII stream file."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "wb") as fh:
+            _write_stream(layout, fh)
+    else:
+        _write_stream(layout, path_or_file)
+
+
+def _write_stream(layout: Layout, fh: BinaryIO) -> None:
+    db_unit_m = layout.unit_nm * 1e-9
+    user_per_db = layout.unit_nm * 1e-3  # db unit expressed in microns
+    fh.write(_record(HEADER, INT2, struct.pack(">h", 600)))
+    fh.write(_record(BGNLIB, INT2, struct.pack(">12h", *_DUMMY_TIMESTAMP)))
+    fh.write(_ascii_record(LIBNAME, layout.name))
+    fh.write(_record(UNITS, REAL8, _to_gds_real8(user_per_db) + _to_gds_real8(db_unit_m)))
+    for cell in layout.cells.values():
+        _write_cell(cell, layout.unit_nm, fh)
+    fh.write(_record(ENDLIB, NO_DATA))
+
+
+def _write_cell(cell: Cell, unit_nm: float, fh: BinaryIO) -> None:
+    fh.write(_record(BGNSTR, INT2, struct.pack(">12h", *_DUMMY_TIMESTAMP)))
+    fh.write(_ascii_record(STRNAME, cell.name))
+    for (layer, datatype), polygons in sorted(cell.shapes.items()):
+        for poly in polygons:
+            fh.write(_record(BOUNDARY, NO_DATA))
+            fh.write(_record(LAYER, INT2, struct.pack(">h", layer)))
+            fh.write(_record(DATATYPE, INT2, struct.pack(">h", datatype)))
+            pts = poly.points + [poly.points[0]]  # GDSII closes the ring explicitly
+            coords = []
+            for p in pts:
+                coords.extend((int(round(p.x / unit_nm)), int(round(p.y / unit_nm))))
+            fh.write(_record(XY, INT4, struct.pack(f">{len(coords)}i", *coords)))
+            fh.write(_record(ENDEL, NO_DATA))
+    for inst in cell.instances:
+        t = inst.transform
+        fh.write(_record(SREF, NO_DATA))
+        fh.write(_ascii_record(SNAME, inst.cell_name))
+        if t.mirror_x or t.rotation:
+            flags = 0x8000 if t.mirror_x else 0
+            fh.write(_record(STRANS, INT2, struct.pack(">H", flags)))
+            if t.rotation:
+                fh.write(_record(ANGLE, REAL8, _to_gds_real8(float(t.rotation))))
+        x = int(round(t.dx / unit_nm))
+        y = int(round(t.dy / unit_nm))
+        fh.write(_record(XY, INT4, struct.pack(">2i", x, y)))
+        fh.write(_record(ENDEL, NO_DATA))
+    fh.write(_record(ENDSTR, NO_DATA))
+
+
+def read_gds(path_or_file: Union[str, BinaryIO]) -> Layout:
+    """Parse a GDSII stream file back into a :class:`Layout`.
+
+    Only the element types produced by :func:`write_gds` are understood;
+    unknown records inside elements are skipped, unknown element types raise.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "rb") as fh:
+            records = list(_iter_records(fh))
+    else:
+        records = list(_iter_records(path_or_file))
+    return _parse(records)
+
+
+def _iter_records(fh: BinaryIO):
+    while True:
+        header = fh.read(4)
+        if len(header) < 4:
+            return
+        length, rec_type, data_type = struct.unpack(">HBB", header)
+        payload = fh.read(length - 4)
+        yield rec_type, data_type, payload
+        if rec_type == ENDLIB:
+            return
+
+
+def _parse(records: List) -> Layout:
+    layout = Layout()
+    cell: Cell = None
+    i = 0
+    n = len(records)
+    while i < n:
+        rec_type, _, payload = records[i]
+        if rec_type == LIBNAME:
+            layout.name = payload.rstrip(b"\x00").decode("ascii")
+        elif rec_type == UNITS:
+            db_unit_m = _from_gds_real8(payload[8:16])
+            layout.unit_nm = db_unit_m * 1e9
+        elif rec_type == BGNSTR:
+            cell = None
+        elif rec_type == STRNAME:
+            cell = layout.new_cell(payload.rstrip(b"\x00").decode("ascii"))
+        elif rec_type == BOUNDARY:
+            i = _parse_boundary(records, i + 1, cell, layout.unit_nm)
+            continue
+        elif rec_type == SREF:
+            i = _parse_sref(records, i + 1, cell, layout.unit_nm)
+            continue
+        i += 1
+    return layout
+
+
+def _parse_boundary(records, i, cell: Cell, unit_nm: float) -> int:
+    layer = datatype = 0
+    points: List[Point] = []
+    while records[i][0] != ENDEL:
+        rec_type, _, payload = records[i]
+        if rec_type == LAYER:
+            layer = struct.unpack(">h", payload)[0]
+        elif rec_type == DATATYPE:
+            datatype = struct.unpack(">h", payload)[0]
+        elif rec_type == XY:
+            values = struct.unpack(f">{len(payload) // 4}i", payload)
+            points = [
+                Point(values[j] * unit_nm, values[j + 1] * unit_nm)
+                for j in range(0, len(values), 2)
+            ]
+        i += 1
+    if cell is None:
+        raise ValueError("BOUNDARY outside of a structure")
+    cell.add_polygon((layer, datatype), Polygon(points[:-1]))  # drop closing vertex
+    return i + 1
+
+
+def _parse_sref(records, i, cell: Cell, unit_nm: float) -> int:
+    name = ""
+    mirror = False
+    rotation = 0
+    dx = dy = 0.0
+    while records[i][0] != ENDEL:
+        rec_type, _, payload = records[i]
+        if rec_type == SNAME:
+            name = payload.rstrip(b"\x00").decode("ascii")
+        elif rec_type == STRANS:
+            mirror = bool(struct.unpack(">H", payload)[0] & 0x8000)
+        elif rec_type == ANGLE:
+            rotation = int(round(_from_gds_real8(payload))) % 360
+        elif rec_type == XY:
+            x, y = struct.unpack(">2i", payload)
+            dx, dy = x * unit_nm, y * unit_nm
+        i += 1
+    if cell is None:
+        raise ValueError("SREF outside of a structure")
+    cell.add_instance(name, Transform(dx=dx, dy=dy, rotation=rotation, mirror_x=mirror))
+    return i + 1

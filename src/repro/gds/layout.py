@@ -1,0 +1,145 @@
+"""Hierarchical layout database.
+
+The database mirrors the GDSII data model: a :class:`Layout` is a library of
+named :class:`Cell` s; each cell holds polygons bucketed by ``(layer,
+datatype)`` and references (:class:`Instance`) to other cells placed under a
+Manhattan :class:`~repro.geometry.Transform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geometry import Polygon, Rect, Transform
+
+LayerKey = Tuple[int, int]  # (layer number, datatype)
+
+
+@dataclass
+class Instance:
+    """A placed reference to another cell."""
+
+    cell_name: str
+    transform: Transform = field(default_factory=Transform.identity)
+
+
+@dataclass
+class LayerShapes:
+    """The polygons of one cell on one (layer, datatype)."""
+
+    layer: LayerKey
+    polygons: List[Polygon] = field(default_factory=list)
+
+
+class Cell:
+    """A named layout cell: shapes per layer plus child instances."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("cell name must be non-empty")
+        self.name = name
+        self.shapes: Dict[LayerKey, List[Polygon]] = {}
+        self.instances: List[Instance] = []
+
+    def add_polygon(self, layer: LayerKey, polygon: Polygon) -> None:
+        self.shapes.setdefault(layer, []).append(polygon)
+
+    def add_rect(self, layer: LayerKey, rect: Rect) -> None:
+        self.add_polygon(layer, Polygon.from_rect(rect))
+
+    def add_instance(self, cell_name: str, transform: Optional[Transform] = None) -> Instance:
+        inst = Instance(cell_name, transform or Transform.identity())
+        self.instances.append(inst)
+        return inst
+
+    def polygons_on(self, layer: LayerKey) -> List[Polygon]:
+        return list(self.shapes.get(layer, ()))
+
+    def layers(self) -> List[LayerKey]:
+        return sorted(self.shapes)
+
+    @property
+    def polygon_count(self) -> int:
+        return sum(len(polys) for polys in self.shapes.values())
+
+    def local_bbox(self) -> Optional[Rect]:
+        """Bounding box of this cell's own shapes (not instances)."""
+        boxes = [poly.bbox for polys in self.shapes.values() for poly in polys]
+        if not boxes:
+            return None
+        return Rect.bounding(boxes)
+
+
+class Layout:
+    """A library of cells with hierarchy utilities."""
+
+    def __init__(self, name: str = "LIB", unit_nm: float = 1.0):
+        self.name = name
+        #: database unit expressed in nanometres (1.0 = 1 nm grid)
+        self.unit_nm = unit_nm
+        self.cells: Dict[str, Cell] = {}
+
+    def new_cell(self, name: str) -> Cell:
+        if name in self.cells:
+            raise ValueError(f"cell {name!r} already exists")
+        cell = Cell(name)
+        self.cells[name] = cell
+        return cell
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self.cells:
+            raise ValueError(f"cell {cell.name!r} already exists")
+        self.cells[cell.name] = cell
+        return cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __getitem__(self, name: str) -> Cell:
+        return self.cells[name]
+
+    def top_cells(self) -> List[Cell]:
+        """Cells not instantiated by any other cell."""
+        referenced = {inst.cell_name for cell in self.cells.values() for inst in cell.instances}
+        return [cell for name, cell in self.cells.items() if name not in referenced]
+
+    # -- hierarchy traversal ------------------------------------------------
+
+    def iter_flat(
+        self, cell_name: str, transform: Optional[Transform] = None
+    ) -> Iterator[Tuple[LayerKey, Polygon]]:
+        """Yield every polygon under ``cell_name``, transformed to top level."""
+        if cell_name not in self.cells:
+            raise KeyError(f"unknown cell {cell_name!r}")
+        t = transform or Transform.identity()
+        cell = self.cells[cell_name]
+        for layer, polys in cell.shapes.items():
+            for poly in polys:
+                yield layer, t.apply_polygon(poly)
+        for inst in cell.instances:
+            yield from self.iter_flat(inst.cell_name, t.compose(inst.transform))
+
+    def flatten(self, cell_name: str) -> Cell:
+        """A new cell with the full hierarchy under ``cell_name`` flattened."""
+        flat = Cell(f"{cell_name}__flat")
+        for layer, poly in self.iter_flat(cell_name):
+            flat.add_polygon(layer, poly)
+        return flat
+
+    def flat_polygons(self, cell_name: str, layer: LayerKey) -> List[Polygon]:
+        """All polygons of one layer under ``cell_name``, flattened."""
+        return [poly for key, poly in self.iter_flat(cell_name) if key == layer]
+
+    def bbox(self, cell_name: str) -> Optional[Rect]:
+        boxes = [poly.bbox for _, poly in self.iter_flat(cell_name)]
+        if not boxes:
+            return None
+        return Rect.bounding(boxes)
+
+    def cell_depth(self, cell_name: str) -> int:
+        """Hierarchy depth below ``cell_name`` (a leaf cell has depth 0)."""
+        cell = self.cells[cell_name]
+        if not cell.instances:
+            return 0
+        return 1 + max(self.cell_depth(inst.cell_name) for inst in cell.instances)

@@ -1,0 +1,36 @@
+"""Geometry kernel for layout manipulation.
+
+All coordinates are in **nanometres** and stored as floats; helpers are
+provided to snap to the manufacturing grid.  The kernel is specialised for
+*rectilinear* (Manhattan) polygons, which is what standard-cell layout and
+edge-based OPC produce, but the containers accept arbitrary simple polygons
+for contour data coming back from lithography simulation.
+"""
+
+from repro.geometry.point import Point, snap, snap_point
+from repro.geometry.rect import Rect
+from repro.geometry.polygon import Polygon
+from repro.geometry.decompose import decompose_rectilinear, polygon_area
+from repro.geometry.edges import Edge, EdgeOrientation, polygon_edges
+from repro.geometry.fragment import Fragment, FragmentKind, fragment_polygon, rebuild_polygon
+from repro.geometry.index import GridIndex
+from repro.geometry.transform import Transform
+
+__all__ = [
+    "Point",
+    "snap",
+    "snap_point",
+    "Rect",
+    "Polygon",
+    "decompose_rectilinear",
+    "polygon_area",
+    "Edge",
+    "EdgeOrientation",
+    "polygon_edges",
+    "Fragment",
+    "FragmentKind",
+    "fragment_polygon",
+    "rebuild_polygon",
+    "GridIndex",
+    "Transform",
+]

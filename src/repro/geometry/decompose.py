@@ -1,0 +1,85 @@
+"""Decomposition of rectilinear polygons into axis-aligned rectangles.
+
+The slab-sweep decomposition here is the bridge between polygon layout and
+the raster world of lithography simulation: the mask rasterizer consumes
+rectangles because per-pixel area coverage of a rectangle has a closed form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+def decompose_rectilinear(polygon: Polygon, tol: float = 1e-9) -> List[Rect]:
+    """Split a rectilinear polygon into non-overlapping rectangles.
+
+    Uses a horizontal slab sweep: the unique y coordinates define slabs; the
+    polygon's vertical edges crossing a slab, sorted by x and paired by the
+    even-odd rule, give the covered x intervals of that slab.
+
+    Raises ValueError for non-rectilinear input.
+    """
+    if not polygon.is_rectilinear(tol):
+        raise ValueError("decompose_rectilinear requires a rectilinear polygon")
+
+    pts = polygon.points
+    n = len(pts)
+    vertical = []  # (x, ylo, yhi)
+    for i in range(n):
+        a, b = pts[i], pts[(i + 1) % n]
+        if abs(a.x - b.x) <= tol:
+            vertical.append((a.x, min(a.y, b.y), max(a.y, b.y)))
+
+    ys = sorted({p.y for p in pts})
+    rects: List[Rect] = []
+    for ylo, yhi in zip(ys[:-1], ys[1:]):
+        ymid = (ylo + yhi) / 2
+        xs = sorted(x for x, edge_lo, edge_hi in vertical if edge_lo - tol < ymid < edge_hi + tol)
+        if len(xs) % 2:
+            raise ValueError("odd number of edge crossings; polygon is not simple")
+        for x0, x1 in zip(xs[::2], xs[1::2]):
+            if x1 - x0 > tol:
+                rects.append(Rect(x0, ylo, x1, yhi))
+    return _merge_vertical(rects, tol)
+
+
+def _merge_vertical(rects: List[Rect], tol: float) -> List[Rect]:
+    """Merge vertically adjacent rectangles with identical x spans.
+
+    The slab sweep splits at every vertex y; stacked slabs with the same x
+    extent are rejoined so simple shapes decompose to few rectangles.
+    """
+    by_span = {}
+    for r in rects:
+        by_span.setdefault((round(r.x0, 6), round(r.x1, 6)), []).append(r)
+    merged: List[Rect] = []
+    for (_, _), group in sorted(by_span.items()):
+        group.sort(key=lambda r: r.y0)
+        current = group[0]
+        for r in group[1:]:
+            if abs(r.y0 - current.y1) <= tol:
+                current = Rect(current.x0, current.y0, current.x1, r.y1)
+            else:
+                merged.append(current)
+                current = r
+        merged.append(current)
+    return merged
+
+
+def polygon_area(polygons: Sequence[Polygon]) -> float:
+    """Total area of a set of non-overlapping polygons."""
+    return sum(p.area for p in polygons)
+
+
+def rectangles_area(rects: Sequence[Rect]) -> float:
+    """Total area of a set of non-overlapping rectangles."""
+    return sum(r.area for r in rects)
+
+
+def point_in_rects(point: Point, rects: Sequence[Rect]) -> bool:
+    """Membership test against a rectangle decomposition."""
+    return any(r.contains_point(point) for r in rects)

@@ -1,0 +1,88 @@
+"""Edge model for rectilinear polygons.
+
+OPC operates on *edges*: each boundary segment of a mask polygon, with an
+outward normal along which correction moves are applied.  This module
+extracts oriented edges from a polygon and classifies their orientation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class EdgeOrientation(enum.Enum):
+    """Axis orientation of a rectilinear edge."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed boundary segment of a counter-clockwise polygon.
+
+    For a CCW polygon the interior is to the *left* of the direction of
+    travel, so the outward normal is the direction vector rotated -90 deg.
+    """
+
+    start: Point
+    end: Point
+
+    def __post_init__(self):
+        if self.start == self.end:
+            raise ValueError("zero-length edge")
+
+    @property
+    def length(self) -> float:
+        return self.start.distance(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point((self.start.x + self.end.x) / 2, (self.start.y + self.end.y) / 2)
+
+    @property
+    def direction(self) -> Point:
+        d = self.end - self.start
+        n = d.norm()
+        return Point(d.x / n, d.y / n)
+
+    @property
+    def outward_normal(self) -> Point:
+        """Unit normal pointing away from the polygon interior (CCW winding)."""
+        d = self.direction
+        return Point(d.y, -d.x)
+
+    @property
+    def orientation(self) -> EdgeOrientation:
+        if abs(self.start.x - self.end.x) <= 1e-9:
+            return EdgeOrientation.VERTICAL
+        if abs(self.start.y - self.end.y) <= 1e-9:
+            return EdgeOrientation.HORIZONTAL
+        raise ValueError(f"edge {self} is not axis-parallel")
+
+    def is_rectilinear(self) -> bool:
+        return abs(self.start.x - self.end.x) <= 1e-9 or abs(self.start.y - self.end.y) <= 1e-9
+
+    def point_at(self, t: float) -> Point:
+        """Parametric point, t in [0, 1]."""
+        return Point(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+
+    def shifted(self, distance: float) -> "Edge":
+        """Translate along the outward normal (positive moves outward)."""
+        n = self.outward_normal
+        delta = Point(n.x * distance, n.y * distance)
+        return Edge(self.start + delta, self.end + delta)
+
+
+def polygon_edges(polygon: Polygon) -> List[Edge]:
+    """Directed edges of ``polygon`` in CCW order."""
+    pts = polygon.points
+    return [Edge(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts))]

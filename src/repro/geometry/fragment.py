@@ -1,0 +1,159 @@
+"""Edge fragmentation and polygon reconstruction for OPC.
+
+Model-based OPC dissects every polygon boundary into short *fragments*,
+evaluates the printed image at each fragment's control point, and moves the
+fragment along its outward normal to null the edge-placement error.  This
+module provides the dissection (:func:`fragment_polygon`) and the inverse
+operation that reassembles a valid rectilinear polygon from the moved
+fragments (:func:`rebuild_polygon`), inserting jogs between collinear
+fragments with different offsets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geometry.edges import Edge, EdgeOrientation, polygon_edges
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class FragmentKind(enum.Enum):
+    """Classification used to pick OPC rules and constraints per fragment."""
+
+    NORMAL = "normal"          # interior run of a long edge
+    CORNER = "corner"          # abuts a corner of the polygon
+    LINE_END = "line_end"      # an entire short edge capping a line
+
+
+@dataclass
+class Fragment:
+    """A piece of a polygon edge that OPC may displace along its normal.
+
+    ``offset`` is the current correction: positive values move the fragment
+    *outward* (growing the polygon locally), negative values move it inward.
+    """
+
+    start: Point
+    end: Point
+    kind: FragmentKind
+    index: int = 0
+    offset: float = field(default=0.0)
+
+    @property
+    def edge(self) -> Edge:
+        return Edge(self.start, self.end)
+
+    @property
+    def length(self) -> float:
+        return self.start.distance(self.end)
+
+    @property
+    def control_point(self) -> Point:
+        """Where the image is sampled: the midpoint of the *original* segment."""
+        return Point((self.start.x + self.end.x) / 2, (self.start.y + self.end.y) / 2)
+
+    @property
+    def outward_normal(self) -> Point:
+        return self.edge.outward_normal
+
+    @property
+    def orientation(self) -> EdgeOrientation:
+        return self.edge.orientation
+
+    def shifted_segment(self) -> Edge:
+        """The fragment's segment after applying the current offset."""
+        return self.edge.shifted(self.offset)
+
+
+def fragment_polygon(
+    polygon: Polygon,
+    max_length: float = 60.0,
+    corner_length: float = 30.0,
+    line_end_max: float = 120.0,
+    min_length: float = 10.0,
+) -> List[Fragment]:
+    """Dissect a rectilinear polygon boundary into OPC fragments.
+
+    Parameters mirror production OPC recipes: ``max_length`` bounds interior
+    fragment size, ``corner_length`` is the dedicated fragment carved out
+    next to each corner, edges not longer than ``line_end_max`` become a
+    single LINE_END fragment, and no fragment is made shorter than
+    ``min_length`` (short leftovers merge into their neighbour).
+    """
+    if not polygon.is_rectilinear():
+        raise ValueError("fragmentation requires a rectilinear polygon")
+    fragments: List[Fragment] = []
+    for edge in polygon_edges(polygon):
+        fragments.extend(_fragment_edge(edge, max_length, corner_length, line_end_max, min_length))
+    for i, frag in enumerate(fragments):
+        frag.index = i
+    return fragments
+
+
+def _fragment_edge(
+    edge: Edge,
+    max_length: float,
+    corner_length: float,
+    line_end_max: float,
+    min_length: float,
+) -> List[Fragment]:
+    length = edge.length
+    if length <= line_end_max:
+        return [Fragment(edge.start, edge.end, FragmentKind.LINE_END)]
+
+    # Carve corner fragments at both ends, then split the interior run.
+    breaks = [0.0, corner_length]
+    interior = length - 2 * corner_length
+    n_interior = max(1, int(-(-interior // max_length)))  # ceil
+    step = interior / n_interior
+    for i in range(1, n_interior):
+        breaks.append(corner_length + i * step)
+    breaks.extend([length - corner_length, length])
+
+    # Merge any sliver segments below min_length into their neighbour.
+    cleaned = [breaks[0]]
+    for b in breaks[1:]:
+        if b - cleaned[-1] < min_length and b != length:
+            continue
+        cleaned.append(b)
+    if len(cleaned) >= 3 and cleaned[-1] - cleaned[-2] < min_length:
+        del cleaned[-2]
+
+    fragments = []
+    for i, (a, b) in enumerate(zip(cleaned[:-1], cleaned[1:])):
+        kind = FragmentKind.CORNER if i == 0 or i == len(cleaned) - 2 else FragmentKind.NORMAL
+        fragments.append(Fragment(edge.point_at(a / length), edge.point_at(b / length), kind))
+    return fragments
+
+
+def rebuild_polygon(fragments: List[Fragment]) -> Polygon:
+    """Reassemble the polygon from (possibly displaced) fragments.
+
+    Consecutive fragments from perpendicular edges meet at the intersection
+    of their supporting lines; consecutive collinear fragments with unequal
+    offsets are connected by a jog.
+    """
+    if len(fragments) < 3:
+        raise ValueError("need at least 3 fragments to rebuild a polygon")
+    segments = [f.shifted_segment() for f in fragments]
+    n = len(segments)
+    vertices: List[Point] = []
+    for i in range(n):
+        cur, nxt = segments[i], segments[(i + 1) % n]
+        if cur.orientation != nxt.orientation:
+            vertices.append(_perpendicular_meet(cur, nxt))
+        else:
+            # Jog between collinear fragments (no-op vertex pair when the
+            # offsets agree; the Polygon constructor drops the duplicates).
+            vertices.append(cur.end)
+            vertices.append(nxt.start)
+    return Polygon(vertices)
+
+
+def _perpendicular_meet(a: Edge, b: Edge) -> Point:
+    if a.orientation == EdgeOrientation.VERTICAL:
+        return Point(a.start.x, b.start.y)
+    return Point(b.start.x, a.start.y)

@@ -1,0 +1,75 @@
+"""Uniform-grid spatial index for layout queries.
+
+Full-chip flows repeatedly ask "what shapes are near this gate?" (litho
+context windows, neighbour lookup for proximity rules).  A uniform bucket
+grid is ideal for standard-cell layout, whose shape density is roughly
+uniform.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Set, Tuple, TypeVar
+
+from repro.geometry.rect import Rect
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Maps axis-aligned bounding boxes to user items with O(1) region query.
+
+    Items are hashed by identity slot, so unhashable payloads are accepted
+    and duplicates of equal payloads are kept distinct.
+    """
+
+    def __init__(self, cell_size: float = 1000.0):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._items: List[Tuple[Rect, T]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def insert(self, bbox: Rect, item: T) -> int:
+        """Add an item; returns its slot id."""
+        slot = len(self._items)
+        self._items.append((bbox, item))
+        for key in self._keys_for(bbox):
+            self._buckets[key].append(slot)
+        return slot
+
+    def extend(self, entries: Iterable[Tuple[Rect, T]]) -> None:
+        for bbox, item in entries:
+            self.insert(bbox, item)
+
+    def query(self, region: Rect, strict: bool = True) -> List[T]:
+        """All items whose bbox overlaps ``region`` (interiors if ``strict``)."""
+        seen: Set[int] = set()
+        out: List[T] = []
+        for key in self._keys_for(region):
+            for slot in self._buckets.get(key, ()):
+                if slot in seen:
+                    continue
+                seen.add(slot)
+                bbox, item = self._items[slot]
+                if bbox.overlaps(region, strict=strict):
+                    out.append(item)
+        return out
+
+    def query_point(self, x: float, y: float) -> List[T]:
+        return self.query(Rect(x, y, x, y), strict=False)
+
+    def all_items(self) -> List[T]:
+        return [item for _, item in self._items]
+
+    def _keys_for(self, bbox: Rect):
+        ix0 = int(bbox.x0 // self.cell_size)
+        iy0 = int(bbox.y0 // self.cell_size)
+        ix1 = int(bbox.x1 // self.cell_size)
+        iy1 = int(bbox.y1 // self.cell_size)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                yield (ix, iy)

@@ -1,0 +1,70 @@
+"""Points and grid snapping."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default manufacturing grid in nanometres.
+DEFAULT_GRID = 1.0
+
+
+def snap(value: float, grid: float = DEFAULT_GRID) -> float:
+    """Snap a scalar coordinate to the manufacturing grid.
+
+    Uses round-half-away-from-zero so that symmetric layouts snap
+    symmetrically (Python's banker's rounding would not).
+    """
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    scaled = value / grid
+    return math.floor(scaled + 0.5) * grid if scaled >= 0 else -math.floor(-scaled + 0.5) * grid
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point in nanometres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 2-D cross product."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def manhattan(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def distance(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def snapped(self, grid: float = DEFAULT_GRID) -> "Point":
+        return Point(snap(self.x, grid), snap(self.y, grid))
+
+    def as_tuple(self) -> tuple:
+        return (self.x, self.y)
+
+
+def snap_point(point: Point, grid: float = DEFAULT_GRID) -> Point:
+    """Snap both coordinates of ``point`` to the manufacturing grid."""
+    return point.snapped(grid)

@@ -1,0 +1,163 @@
+"""Axis-aligned rectangles, the workhorse of Manhattan layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle given by its lower-left and upper-right corners.
+
+    Degenerate rectangles (zero width or height) are permitted — they are
+    useful as cutlines and measurement regions — but most layout operations
+    expect proper rectangles.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self):
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(
+                f"Rect corners out of order: ({self.x0},{self.y0})-({self.x1},{self.y1})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Rect":
+        """Bounding rectangle of two points, in any order."""
+        return Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @staticmethod
+    def from_center(cx: float, cy: float, width: float, height: float) -> "Rect":
+        return Rect(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+
+    @staticmethod
+    def bounding(rects: Iterable["Rect"]) -> "Rect":
+        """Bounding box of a non-empty collection of rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("bounding() needs at least one rectangle")
+        return Rect(
+            min(r.x0 for r in rects),
+            min(r.y0 for r in rects),
+            max(r.x1 for r in rects),
+            max(r.y1 for r in rects),
+        )
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    @property
+    def corners(self) -> List[Point]:
+        """Counter-clockwise corners starting at the lower-left."""
+        return [
+            Point(self.x0, self.y0),
+            Point(self.x1, self.y0),
+            Point(self.x1, self.y1),
+            Point(self.x0, self.y1),
+        ]
+
+    def is_degenerate(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, p: Point, strict: bool = False) -> bool:
+        if strict:
+            return self.x0 < p.x < self.x1 and self.y0 < p.y < self.y1
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and self.x1 >= other.x1
+            and self.y1 >= other.y1
+        )
+
+    def overlaps(self, other: "Rect", strict: bool = True) -> bool:
+        """True if interiors overlap (``strict``) or if they at least touch."""
+        if strict:
+            return (
+                self.x0 < other.x1
+                and other.x0 < self.x1
+                and self.y0 < other.y1
+                and other.y0 < self.y1
+            )
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    # -- operations --------------------------------------------------------
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Overlap region, or None if the rectangles do not even touch."""
+        x0, y0 = max(self.x0, other.x0), max(self.y0, other.y0)
+        x1, y1 = min(self.x1, other.x1), min(self.y1, other.y1)
+        if x0 > x1 or y0 > y1:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) uniformly on all sides.
+
+        Hairline inversions from floating-point rounding collapse to a
+        degenerate rect at the midpoint; real inversions raise ValueError.
+        """
+        x0, y0 = self.x0 - margin, self.y0 - margin
+        x1, y1 = self.x1 + margin, self.y1 + margin
+        tol = 1e-9 * max(1.0, abs(x0), abs(x1), abs(y0), abs(y1))
+        if x0 > x1 + tol or y0 > y1 + tol:
+            raise ValueError(f"margin {margin} would invert rect {self}")
+        if x0 > x1:
+            x0 = x1 = (x0 + x1) / 2
+        if y0 > y1:
+            y0 = y1 = (y0 + y1) / 2
+        return Rect(x0, y0, x1, y1)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def scaled(self, factor: float) -> "Rect":
+        """Scale about the origin."""
+        if factor < 0:
+            raise ValueError("use Transform for mirroring; scale factor must be >= 0")
+        return Rect(self.x0 * factor, self.y0 * factor, self.x1 * factor, self.y1 * factor)
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0

@@ -1,0 +1,82 @@
+"""Manhattan transforms: translation, 90-degree rotations, and mirroring.
+
+Standard-cell placement only needs the eight Manhattan orientations (R0,
+R90, R180, R270, and their mirrored variants), matching the GDSII STRANS
+model of mirror-about-x followed by rotation followed by translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+_VALID_ROTATIONS = (0, 90, 180, 270)
+
+
+@dataclass(frozen=True)
+class Transform:
+    """Mirror about the x axis (first), rotate CCW by ``rotation`` degrees
+    (second), then translate by (dx, dy)."""
+
+    dx: float = 0.0
+    dy: float = 0.0
+    rotation: int = 0
+    mirror_x: bool = False
+
+    def __post_init__(self):
+        if self.rotation not in _VALID_ROTATIONS:
+            raise ValueError(f"rotation must be one of {_VALID_ROTATIONS}, got {self.rotation}")
+
+    @staticmethod
+    def identity() -> "Transform":
+        return Transform()
+
+    @staticmethod
+    def translation(dx: float, dy: float) -> "Transform":
+        return Transform(dx=dx, dy=dy)
+
+    def apply_point(self, p: Point) -> Point:
+        x, y = p.x, p.y
+        if self.mirror_x:
+            y = -y
+        if self.rotation == 90:
+            x, y = -y, x
+        elif self.rotation == 180:
+            x, y = -x, -y
+        elif self.rotation == 270:
+            x, y = y, -x
+        return Point(x + self.dx, y + self.dy)
+
+    def apply_rect(self, r: Rect) -> Rect:
+        a = self.apply_point(Point(r.x0, r.y0))
+        b = self.apply_point(Point(r.x1, r.y1))
+        return Rect.from_points(a, b)
+
+    def apply_polygon(self, poly: Polygon) -> Polygon:
+        return Polygon([self.apply_point(p) for p in poly.points])
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """Transform equivalent to applying ``inner`` first, then ``self``."""
+        origin = self.apply_point(inner.apply_point(Point(0, 0)))
+        mirror = self.mirror_x != inner.mirror_x
+        rotation = (self.rotation + (-inner.rotation if self.mirror_x else inner.rotation)) % 360
+        probe = Transform(rotation=rotation, mirror_x=mirror).apply_point(Point(1, 0))
+        expected = self.apply_point(inner.apply_point(Point(1, 0))) - origin
+        if (round(probe.x - expected.x, 9), round(probe.y - expected.y, 9)) != (0.0, 0.0):
+            # Mirrors flip the sense of rotation; retry with the other sign.
+            rotation = (self.rotation + (inner.rotation if self.mirror_x else -inner.rotation)) % 360
+        return Transform(dx=origin.x, dy=origin.y, rotation=rotation, mirror_x=mirror)
+
+    def inverse(self) -> "Transform":
+        """Transform undoing this one."""
+        # Reverse order: untranslate, unrotate, unmirror.
+        if self.mirror_x:
+            rotation = self.rotation  # mirror conjugates the rotation back to itself
+        else:
+            rotation = (-self.rotation) % 360
+        inv = Transform(rotation=rotation, mirror_x=self.mirror_x)
+        moved = inv.apply_point(Point(self.dx, self.dy))
+        return Transform(dx=-moved.x, dy=-moved.y, rotation=rotation, mirror_x=self.mirror_x)

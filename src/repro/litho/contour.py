@@ -1,0 +1,134 @@
+"""Marching-squares contour extraction.
+
+Turns a latent resist image into printed-feature contours (closed polygons
+in nanometre coordinates).  The implementation pads the field with the
+background level so every contour closes, uses linear interpolation for
+sub-pixel edge placement, and resolves saddle cells with the cell-average
+rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, Polygon
+
+# For each marching-squares case, the crossed edge pairs (entry, exit).
+# Edges are numbered 0=bottom, 1=right, 2=top, 3=left of the cell.
+_SEGMENTS: Dict[int, List[Tuple[int, int]]] = {
+    0: [], 15: [],
+    1: [(3, 0)], 14: [(0, 3)],
+    2: [(0, 1)], 13: [(1, 0)],
+    3: [(3, 1)], 12: [(1, 3)],
+    4: [(1, 2)], 11: [(2, 1)],
+    6: [(0, 2)], 9: [(2, 0)],
+    7: [(3, 2)], 8: [(2, 3)],
+    5: [(3, 0), (1, 2)],      # saddle, resolved at runtime
+    10: [(0, 1), (2, 3)],     # saddle, resolved at runtime
+}
+
+
+def marching_squares(
+    field: np.ndarray,
+    level: float,
+    x0: float = 0.0,
+    y0: float = 0.0,
+    pixel: float = 1.0,
+    pad_value: float = None,
+) -> List[Polygon]:
+    """Extract closed iso-``level`` contours of a 2-D scalar field.
+
+    ``field[j, i]`` is the sample at pixel-center ``(x0 + (i+0.5)*pixel,
+    y0 + (j+0.5)*pixel)``.  The field is padded with ``pad_value`` (default:
+    the field maximum, i.e. background-bright for dark features) so that
+    features touching the window edge still produce closed loops.  Only
+    loops with at least 3 vertices are returned.
+    """
+    if field.ndim != 2:
+        raise ValueError("field must be 2-D")
+    if pad_value is None:
+        pad_value = float(field.max())
+    padded = np.pad(field, 1, constant_values=pad_value)
+    ny, nx = padded.shape
+
+    below = padded < level  # "inside" for dark features
+    segments: Dict[Tuple, Tuple] = {}
+
+    def edge_point(j: int, i: int, edge: int) -> Tuple[Tuple, Point]:
+        """Interpolated crossing on an edge; returns (edge key, point).
+
+        Pixel-center coordinates: sample (j, i) of the *padded* array sits
+        at ((i - 0.5) * pixel + x0, (j - 0.5) * pixel + y0).
+        """
+        if edge == 0:
+            a, b = (j, i), (j, i + 1)
+        elif edge == 1:
+            a, b = (j, i + 1), (j + 1, i + 1)
+        elif edge == 2:
+            a, b = (j + 1, i), (j + 1, i + 1)
+        else:
+            a, b = (j, i), (j + 1, i)
+        va, vb = padded[a], padded[b]
+        t = 0.5 if vb == va else (level - va) / (vb - va)
+        t = min(max(t, 0.0), 1.0)
+        ax, ay = (a[1] - 0.5) * pixel + x0, (a[0] - 0.5) * pixel + y0
+        bx, by = (b[1] - 0.5) * pixel + x0, (b[0] - 0.5) * pixel + y0
+        key = (a, b)
+        return key, Point(ax + t * (bx - ax), ay + t * (by - ay))
+
+    # Build directed segments: from entry-edge to exit-edge per cell, with
+    # "inside" (below level) kept to the left so loops share orientation.
+    links: Dict[Tuple, Tuple[Tuple, Point, Point]] = {}
+    for j in range(ny - 1):
+        for i in range(nx - 1):
+            case = (
+                (1 if below[j, i] else 0)
+                | (2 if below[j, i + 1] else 0)
+                | (4 if below[j + 1, i + 1] else 0)
+                | (8 if below[j + 1, i] else 0)
+            )
+            pairs = _SEGMENTS[case]
+            if case in (5, 10):
+                center = 0.25 * (
+                    padded[j, i] + padded[j, i + 1] + padded[j + 1, i] + padded[j + 1, i + 1]
+                )
+                center_below = center < level
+                if case == 5:
+                    pairs = [(3, 2), (1, 0)] if center_below else [(3, 0), (1, 2)]
+                else:
+                    pairs = [(0, 1), (2, 3)] if not center_below else [(0, 3), (2, 1)]
+            for entry, exit_ in pairs:
+                k_in, p_in = edge_point(j, i, entry)
+                k_out, p_out = edge_point(j, i, exit_)
+                links[k_in] = (k_out, p_in, p_out)
+
+    # Chain segments into closed loops.
+    polygons: List[Polygon] = []
+    visited = set()
+    for start in list(links):
+        if start in visited:
+            continue
+        chain: List[Point] = []
+        key = start
+        while key not in visited:
+            visited.add(key)
+            nxt, p_in, _ = links[key]
+            chain.append(p_in)
+            if nxt not in links:
+                break  # open chain (should not happen with padding)
+            key = nxt
+        if len(chain) >= 3 and key == start:
+            try:
+                polygons.append(Polygon(chain))
+            except ValueError:
+                pass  # degenerate sliver below resolution
+    return polygons
+
+
+def contours_of_latent(latent, threshold: float) -> List[Polygon]:
+    """Printed contours of a latent image (see :class:`ResistModel`)."""
+    return marching_squares(
+        latent.intensity, threshold, x0=latent.x0, y0=latent.y0, pixel=latent.pixel
+    )

@@ -1,0 +1,239 @@
+"""Partially-coherent aerial-image computation.
+
+Two engines compute the same Hopkins integral:
+
+* **Abbe** (sum over source): one coherent image per source point.  Exact
+  for the discretized source; used as the reference in tests.
+* **SOCS** (sum of coherent systems): the transmission cross coefficients
+  are assembled on the band-limited frequency support, eigendecomposed
+  once per (grid, defocus) and cached; each aerial image then costs one
+  FFT per retained kernel.  This is the production path, exactly as in
+  the OPC tools of the paper's era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.litho.pupil import Pupil
+from repro.litho.raster import MaskGrid
+from repro.litho.source import SourcePoint, make_source
+from repro.pdk import LithoSettings
+
+
+@dataclass
+class AerialImage:
+    """Sampled image intensity over a simulation window (clear field = 1)."""
+
+    x0: float
+    y0: float
+    pixel: float
+    intensity: np.ndarray  # (ny, nx)
+
+    @property
+    def nx(self) -> int:
+        return self.intensity.shape[1]
+
+    @property
+    def ny(self) -> int:
+        return self.intensity.shape[0]
+
+    def value_at(self, x: float, y: float) -> float:
+        """Bilinear interpolation at an arbitrary point (pixel centers)."""
+        gx = (x - self.x0) / self.pixel - 0.5
+        gy = (y - self.y0) / self.pixel - 0.5
+        i0 = int(np.floor(gx))
+        j0 = int(np.floor(gy))
+        tx = gx - i0
+        ty = gy - j0
+        i0 = min(max(i0, 0), self.nx - 1)
+        j0 = min(max(j0, 0), self.ny - 1)
+        i1 = min(i0 + 1, self.nx - 1)
+        j1 = min(j0 + 1, self.ny - 1)
+        tx = min(max(tx, 0.0), 1.0)
+        ty = min(max(ty, 0.0), 1.0)
+        inten = self.intensity
+        top = inten[j1, i0] * (1 - tx) + inten[j1, i1] * tx
+        bottom = inten[j0, i0] * (1 - tx) + inten[j0, i1] * tx
+        return float(bottom * (1 - ty) + top * ty)
+
+    def values_at(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized bilinear interpolation (same convention as value_at)."""
+        from scipy import ndimage
+
+        cols = np.asarray(xs, dtype=float)
+        rows = np.asarray(ys, dtype=float)
+        coords = np.stack(
+            [(rows - self.y0) / self.pixel - 0.5, (cols - self.x0) / self.pixel - 0.5]
+        )
+        return ndimage.map_coordinates(
+            self.intensity, coords.reshape(2, -1), order=1, mode="nearest"
+        ).reshape(np.shape(xs))
+
+    def profile(
+        self, x_start: float, y_start: float, x_end: float, y_end: float, samples: int = 64
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Intensity along a cutline; returns (distances, intensities)."""
+        ts = np.linspace(0.0, 1.0, samples)
+        xs = x_start + ts * (x_end - x_start)
+        ys = y_start + ts * (y_end - y_start)
+        values = self.values_at(xs, ys)
+        length = float(np.hypot(x_end - x_start, y_end - y_start))
+        return ts * length, values
+
+
+class OpticalModel:
+    """The imaging engine for one optical setup (source + lens)."""
+
+    def __init__(
+        self,
+        settings: LithoSettings,
+        zernike: Optional[Dict[str, float]] = None,
+        max_kernels: int = 40,
+        energy_cutoff: float = 0.998,
+    ):
+        self.settings = settings
+        self.zernike = dict(zernike or {})
+        self.max_kernels = max_kernels
+        self.energy_cutoff = energy_cutoff
+        self.source: List[SourcePoint] = make_source(settings)
+        self._kernel_cache: Dict[tuple, tuple] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def aerial_image(
+        self,
+        mask: MaskGrid,
+        defocus_nm: float = 0.0,
+        method: str = "socs",
+        background: complex = 1.0,
+        feature: complex = 0.0,
+    ) -> AerialImage:
+        """Image the ``mask`` grid (clear-field normalized to 1.0)."""
+        transmission = mask.transmission(background=background, feature=feature)
+        if method == "abbe":
+            intensity = self._abbe(transmission, mask.pixel, defocus_nm)
+        elif method == "socs":
+            intensity = self._socs(transmission, mask.pixel, defocus_nm)
+        else:
+            raise ValueError(f"unknown imaging method {method!r}")
+        return AerialImage(mask.x0, mask.y0, mask.pixel, intensity)
+
+    def kernel_count(self, nx: int, ny: int, pixel: float, defocus_nm: float = 0.0) -> int:
+        """Number of SOCS kernels retained for a grid (diagnostics)."""
+        eigvals, _, _ = self._kernels(nx, ny, pixel, defocus_nm)
+        return len(eigvals)
+
+    # -- Abbe path -------------------------------------------------------------
+
+    def _abbe(self, transmission: np.ndarray, pixel: float, defocus_nm: float) -> np.ndarray:
+        ny, nx = transmission.shape
+        fx = np.fft.fftfreq(nx, d=pixel)
+        fy = np.fft.fftfreq(ny, d=pixel)
+        fxg, fyg = np.meshgrid(fx, fy)
+        pupil = Pupil(self.settings, defocus_nm, self.zernike)
+        sigma_to_f = self.settings.numerical_aperture / self.settings.wavelength
+        edge_width = self._pupil_edge_width(nx, ny, pixel)
+        spectrum = np.fft.fft2(transmission)
+        intensity = np.zeros((ny, nx))
+        clear = 0.0
+        for point in self.source:
+            shifted = pupil.evaluate(
+                fxg - point.sx * sigma_to_f, fyg - point.sy * sigma_to_f,
+                edge_width=edge_width,
+            )
+            field = np.fft.ifft2(spectrum * shifted)
+            intensity += point.weight * np.abs(field) ** 2
+            clear += point.weight * abs(
+                pupil.evaluate(
+                    np.array([-point.sx * sigma_to_f]),
+                    np.array([-point.sy * sigma_to_f]),
+                    edge_width=edge_width,
+                )[0]
+            ) ** 2
+        return intensity / clear
+
+    def _pupil_edge_width(self, nx: int, ny: int, pixel: float) -> float:
+        """Anti-aliasing span for the pupil cutoff: one frequency-grid cell,
+        clamped so coarse grids (tiny windows) keep a physical pupil."""
+        df = max(1.0 / (nx * pixel), 1.0 / (ny * pixel))
+        f_max = self.settings.numerical_aperture / self.settings.wavelength
+        return min(df, 0.12 * f_max)
+
+    # -- SOCS path -------------------------------------------------------------
+
+    def _socs(self, transmission: np.ndarray, pixel: float, defocus_nm: float) -> np.ndarray:
+        ny, nx = transmission.shape
+        eigvals, support, vectors = self._kernels(nx, ny, pixel, defocus_nm)
+        spectrum = np.fft.fft2(transmission)
+        masked_spectrum = spectrum[support]
+        intensity = np.zeros((ny, nx))
+        kernel_grid = np.zeros((ny, nx), dtype=complex)
+        for value, vec in zip(eigvals, vectors):
+            kernel_grid[:] = 0.0
+            kernel_grid[support] = masked_spectrum * vec
+            field = np.fft.ifft2(kernel_grid)
+            intensity += value * np.abs(field) ** 2
+        return intensity
+
+    def _kernels(self, nx: int, ny: int, pixel: float, defocus_nm: float):
+        """Cached TCC eigen-kernels for a grid geometry.
+
+        Returns (eigvals, support_index_tuple, list_of_eigvecs); the clear
+        field of the truncated kernel set is renormalized to exactly 1.
+        """
+        key = (nx, ny, round(pixel, 9), round(defocus_nm, 6),
+               tuple(sorted(self.zernike.items())))
+        if key in self._kernel_cache:
+            return self._kernel_cache[key]
+
+        fx = np.fft.fftfreq(nx, d=pixel)
+        fy = np.fft.fftfreq(ny, d=pixel)
+        fxg, fyg = np.meshgrid(fx, fy)
+        sigma_to_f = self.settings.numerical_aperture / self.settings.wavelength
+        f_support = (1.0 + self.settings.sigma_outer) * sigma_to_f * 1.0001
+        support = np.nonzero(fxg * fxg + fyg * fyg <= f_support * f_support)
+        sup_fx = fxg[support]
+        sup_fy = fyg[support]
+        n_sup = sup_fx.size
+
+        pupil = Pupil(self.settings, defocus_nm, self.zernike)
+        edge_width = self._pupil_edge_width(nx, ny, pixel)
+        # Rows are conjugated so that (A^H A)[m, n] = sum_s w P(f_m - s) P*(f_n - s),
+        # the Hopkins TCC orientation whose eigenvectors are the SOCS kernels.
+        amplitudes = np.empty((len(self.source), n_sup), dtype=complex)
+        for row, point in enumerate(self.source):
+            amplitudes[row] = np.sqrt(point.weight) * np.conj(
+                pupil.evaluate(sup_fx - point.sx * sigma_to_f, sup_fy - point.sy * sigma_to_f,
+                               edge_width=edge_width)
+            )
+        # The TCC = A^H A has rank <= n_source_points, so its eigenpairs come
+        # from the SVD of the small A matrix (n_src x n_sup) directly — far
+        # cheaper than eigendecomposing the n_sup x n_sup TCC itself.
+        _, singular, vh = np.linalg.svd(amplitudes, full_matrices=False)
+        eigvals = singular ** 2
+        total = eigvals.sum()
+        keep = 1
+        running = eigvals[0]
+        while keep < min(self.max_kernels, len(eigvals)) and running < self.energy_cutoff * total:
+            running += eigvals[keep]
+            keep += 1
+
+        kept_vals = eigvals[:keep]
+        kept_vecs = [np.conj(vh[k]) for k in range(keep)]
+
+        # Renormalize so a clear mask images to exactly 1.0 despite truncation.
+        zero_index = np.nonzero((sup_fx == 0.0) & (sup_fy == 0.0))[0]
+        clear = sum(
+            val * abs(vec[zero_index[0]]) ** 2 for val, vec in zip(kept_vals, kept_vecs)
+        ) if zero_index.size else 1.0
+        if clear <= 0:
+            raise RuntimeError("SOCS truncation lost the DC response")
+        kept_vals = kept_vals / clear
+
+        result = (kept_vals, support, kept_vecs)
+        self._kernel_cache[key] = result
+        return result

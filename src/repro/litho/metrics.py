@@ -1,0 +1,144 @@
+"""Image-quality metrics: NILS and MEEF.
+
+* **NILS** (normalized image log slope): ``w * d(ln I)/dx`` at the feature
+  edge — the canonical dose-latitude predictor.  NILS > ~2 is considered
+  manufacturable; low-NILS sites are the hotspots flexible design rules
+  flag.
+* **MEEF** (mask error enhancement factor): d(printed CD)/d(mask CD).  In
+  the low-k1 regime MEEF > 1, so mask CD errors are amplified on wafer;
+  OPC stability and mask-spec budgets both hinge on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry import Polygon, Rect
+from repro.litho.imaging import AerialImage
+from repro.litho.resist import NOMINAL, ProcessCondition
+from repro.litho.simulator import LithographySimulator, measure_cd_on_cutline
+
+
+def nils_at_edge(
+    latent: AerialImage,
+    x_edge: float,
+    y: float,
+    feature_width: float,
+    span: float = 12.0,
+    horizontal: bool = True,
+) -> float:
+    """NILS at a vertical (default) feature edge located at ``x_edge``.
+
+    The log-slope is estimated by central difference over ``span`` nm;
+    ``feature_width`` normalizes it to the feature size.
+    """
+    if horizontal:
+        lo = latent.value_at(x_edge - span / 2, y)
+        hi = latent.value_at(x_edge + span / 2, y)
+    else:
+        lo = latent.value_at(y, x_edge - span / 2)
+        hi = latent.value_at(y, x_edge + span / 2)
+    if lo <= 0 or hi <= 0:
+        return 0.0
+    slope = (np.log(hi) - np.log(lo)) / span
+    return float(feature_width * abs(slope))
+
+
+def grating_nils(
+    simulator: LithographySimulator,
+    line_width: float,
+    pitch: float,
+    n_lines: int = 7,
+    condition: ProcessCondition = NOMINAL,
+) -> float:
+    """NILS of the center line of a grating at its drawn edge."""
+    length = 10 * pitch
+    lines = [
+        Polygon.from_rect(
+            Rect(i * pitch - line_width / 2, -length / 2,
+                 i * pitch + line_width / 2, length / 2)
+        )
+        for i in range(-(n_lines // 2), n_lines // 2 + 1)
+    ]
+    region = Rect(-pitch / 2, -200, pitch / 2, 200)
+    latent = simulator.latent_image(lines, region, condition)
+    return nils_at_edge(latent, line_width / 2, 0.0, line_width)
+
+
+def grating_meef(
+    simulator: LithographySimulator,
+    line_width: float,
+    pitch: float,
+    mask_bias: float = 2.0,
+    n_lines: int = 7,
+    condition: ProcessCondition = NOMINAL,
+) -> float:
+    """MEEF of the center grating line via a symmetric mask-CD perturbation.
+
+    All lines are biased together (the standard through-pitch MEEF
+    definition): MEEF = (CD(+b) - CD(-b)) / (2b).
+    """
+    cds: List[float] = []
+    for bias in (+mask_bias, -mask_bias):
+        width = line_width + bias
+        length = 10 * pitch
+        lines = [
+            Polygon.from_rect(
+                Rect(i * pitch - width / 2, -length / 2,
+                     i * pitch + width / 2, length / 2)
+            )
+            for i in range(-(n_lines // 2), n_lines // 2 + 1)
+        ]
+        region = Rect(-pitch / 2, -200, pitch / 2, 200)
+        latent = simulator.latent_image(lines, region, condition)
+        cds.append(measure_cd_on_cutline(
+            latent, simulator.resist.threshold, -pitch / 2, pitch / 2, 0.0
+        ))
+    return (cds[0] - cds[1]) / (2 * mask_bias)
+
+
+def dose_latitude_percent(
+    simulator: LithographySimulator,
+    line_width: float,
+    pitch: float,
+    cd_tolerance: float = None,
+    probe_step: float = 0.02,
+    condition: ProcessCondition = NOMINAL,
+) -> float:
+    """Exposure latitude: the +-dose range (in %) keeping the printed CD
+    within ``cd_tolerance`` (default 10% of the drawn CD)."""
+    if cd_tolerance is None:
+        cd_tolerance = 0.1 * line_width
+    length = 10 * pitch
+    lines = [
+        Polygon.from_rect(
+            Rect(i * pitch - line_width / 2, -length / 2,
+                 i * pitch + line_width / 2, length / 2)
+        )
+        for i in range(-3, 4)
+    ]
+    region = Rect(-pitch / 2, -200, pitch / 2, 200)
+    nominal = _grating_cd(simulator, lines, region, condition)
+
+    latitude = 0.0
+    for sign in (+1, -1):
+        step = 1
+        while step * probe_step < 0.25:
+            dose = condition.dose * (1 + sign * step * probe_step)
+            probe = ProcessCondition(dose=dose, defocus_nm=condition.defocus_nm)
+            cd = _grating_cd(simulator, lines, region, probe)
+            if cd == 0.0 or abs(cd - nominal) > cd_tolerance:
+                break
+            step += 1
+        latitude += (step - 1) * probe_step
+    return 100.0 * latitude / 2.0  # average of the two sides, in percent
+
+
+def _grating_cd(simulator, lines: Sequence[Polygon], region: Rect,
+                condition: ProcessCondition) -> float:
+    latent = simulator.latent_image(lines, region, condition)
+    return measure_cd_on_cutline(
+        latent, simulator.resist.threshold, region.x0, region.x1, 0.0
+    )

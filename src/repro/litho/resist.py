@@ -1,0 +1,83 @@
+"""Constant-threshold resist model with diffusion and dose/defocus handling.
+
+The CTR (constant-threshold resist) model of the era: the aerial image is
+blurred by a Gaussian (acid diffusion during post-exposure bake) and the
+resist edge sits where the blurred, dose-scaled intensity crosses a fixed
+threshold.  For the dark-feature layers studied here (poly gates), resist
+*remains* where the image is below threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.litho.imaging import AerialImage
+from repro.pdk import LithoSettings
+
+
+@dataclass(frozen=True)
+class ProcessCondition:
+    """One exposure condition of the process window."""
+
+    dose: float = 1.0       # relative to nominal
+    defocus_nm: float = 0.0
+
+    def __post_init__(self):
+        if self.dose <= 0:
+            raise ValueError("dose must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"dose={self.dose:.3f}, defocus={self.defocus_nm:.0f}nm"
+
+
+NOMINAL = ProcessCondition()
+
+
+@dataclass
+class ResistModel:
+    """CTR resist: Gaussian diffusion plus a dose-scaled threshold."""
+
+    threshold: float
+    diffusion_nm: float = 20.0
+    #: dark features (chrome lines) leave resist where intensity < threshold
+    dark_feature: bool = True
+
+    @staticmethod
+    def from_settings(settings: LithoSettings) -> "ResistModel":
+        return ResistModel(
+            threshold=settings.resist_threshold,
+            diffusion_nm=settings.resist_diffusion_nm,
+        )
+
+    def __post_init__(self):
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.diffusion_nm < 0:
+            raise ValueError("diffusion must be non-negative")
+
+    def latent_image(self, image: AerialImage, dose: float = 1.0) -> AerialImage:
+        """Diffused, dose-scaled image whose ``threshold`` level set is the
+        resist edge."""
+        blurred = image.intensity
+        if self.diffusion_nm > 0:
+            sigma_px = self.diffusion_nm / image.pixel
+            blurred = ndimage.gaussian_filter(blurred, sigma=sigma_px, mode="nearest")
+        return AerialImage(image.x0, image.y0, image.pixel, blurred * dose)
+
+    def effective_threshold(self) -> float:
+        return self.threshold
+
+    def develop(self, image: AerialImage, dose: float = 1.0) -> np.ndarray:
+        """Boolean resist map: True where resist (the printed feature) remains."""
+        latent = self.latent_image(image, dose)
+        if self.dark_feature:
+            return latent.intensity < self.threshold
+        return latent.intensity >= self.threshold
+
+    def edge_level(self) -> float:
+        """The intensity level of the printed edge in the latent image."""
+        return self.threshold

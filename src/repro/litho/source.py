@@ -1,0 +1,82 @@
+"""Illumination source models.
+
+A source is discretized into weighted points in the sigma plane (pupil
+coordinates, |sigma| = 1 at the condenser NA edge).  The Abbe imaging loop
+integrates one coherent image per point; the TCC/SOCS builder integrates
+the same points into the transmission cross coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.pdk import LithoSettings
+
+
+@dataclass(frozen=True)
+class SourcePoint:
+    """One illumination direction: sigma coordinates plus its weight."""
+
+    sx: float
+    sy: float
+    weight: float
+
+
+def make_source(settings: LithoSettings) -> List[SourcePoint]:
+    """Discretize the illumination shape of ``settings`` into source points.
+
+    Points are laid on a ``source_grid`` x ``source_grid`` Cartesian grid
+    over the unit sigma square; points outside the shape are discarded and
+    the surviving weights normalized to sum to one (so an unpatterned clear
+    mask images to intensity 1.0).
+    """
+    n = settings.source_grid
+    if n < 1:
+        raise ValueError("source_grid must be >= 1")
+    if not 0.0 < settings.sigma_outer <= 1.0:
+        raise ValueError(f"sigma_outer must be in (0, 1], got {settings.sigma_outer}")
+
+    if n == 1:
+        coords = [0.0]
+    else:
+        step = 2.0 / (n - 1)
+        coords = [-1.0 + i * step for i in range(n)]
+
+    accept = _shape_predicate(settings)
+    points = [
+        SourcePoint(sx, sy, 1.0)
+        for sx in coords
+        for sy in coords
+        if accept(sx, sy)
+    ]
+    if not points:
+        raise ValueError(
+            f"source discretization produced no points for {settings.source_type} "
+            f"(grid {n}, sigma {settings.sigma_inner}/{settings.sigma_outer})"
+        )
+    total = sum(p.weight for p in points)
+    return [SourcePoint(p.sx, p.sy, p.weight / total) for p in points]
+
+
+def _shape_predicate(settings: LithoSettings):
+    outer = settings.sigma_outer
+    inner = settings.sigma_inner
+    kind = settings.source_type
+    if kind == "conventional":
+        return lambda sx, sy: sx * sx + sy * sy <= outer * outer + 1e-12
+    if kind == "annular":
+        if not 0.0 <= inner < outer:
+            raise ValueError(f"need 0 <= sigma_inner < sigma_outer, got {inner}/{outer}")
+        return lambda sx, sy: (
+            inner * inner - 1e-12 <= sx * sx + sy * sy <= outer * outer + 1e-12
+        )
+    if kind == "quadrupole":
+        # Four poles on the diagonals (cQuad-style), radius from the sigma span.
+        radius = max((outer - inner) / 2, 0.1)
+        center = (outer + inner) / 2 / 2 ** 0.5
+        centers = [(center, center), (-center, center), (center, -center), (-center, -center)]
+        return lambda sx, sy: any(
+            (sx - cx) ** 2 + (sy - cy) ** 2 <= radius * radius + 1e-12 for cx, cy in centers
+        )
+    raise ValueError(f"unknown source_type {kind!r}")

@@ -1,0 +1,111 @@
+"""Process-window extraction (Bossung analysis).
+
+Sweeps the dose x defocus plane, records the printed CD of a target
+feature, and extracts the classical process-window summary: per-focus
+exposure latitude, and the depth of focus available at a required
+exposure latitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry import Polygon, Rect
+from repro.litho.resist import ProcessCondition
+from repro.litho.simulator import LithographySimulator, measure_cd_on_cutline
+
+
+@dataclass
+class BossungData:
+    """CD(dose, defocus) samples for one feature."""
+
+    line_width: float
+    pitch: float
+    #: (dose, defocus) -> printed CD
+    cd: Dict[Tuple[float, float], float] = field(default_factory=dict)
+
+    def doses(self) -> List[float]:
+        return sorted({d for d, _ in self.cd})
+
+    def defoci(self) -> List[float]:
+        return sorted({z for _, z in self.cd})
+
+    def curve_at_defocus(self, defocus: float) -> List[Tuple[float, float]]:
+        """(dose, CD) points of one Bossung curve."""
+        return sorted(
+            (dose, cd) for (dose, z), cd in self.cd.items() if z == defocus
+        )
+
+
+def bossung_data(
+    simulator: LithographySimulator,
+    line_width: float,
+    pitch: float,
+    doses: Sequence[float] = (0.92, 0.96, 1.0, 1.04, 1.08),
+    defoci: Sequence[float] = (0.0, 100.0, 200.0, 300.0),
+    n_lines: int = 7,
+) -> BossungData:
+    """Measure the grating CD over the full dose x defocus grid."""
+    length = 10 * pitch
+    lines = [
+        Polygon.from_rect(
+            Rect(i * pitch - line_width / 2, -length / 2,
+                 i * pitch + line_width / 2, length / 2)
+        )
+        for i in range(-(n_lines // 2), n_lines // 2 + 1)
+    ]
+    region = Rect(-pitch / 2, -200, pitch / 2, 200)
+    data = BossungData(line_width=line_width, pitch=pitch)
+    for defocus in defoci:
+        for dose in doses:
+            latent = simulator.latent_image(
+                lines, region, ProcessCondition(dose=dose, defocus_nm=defocus)
+            )
+            data.cd[(dose, defocus)] = measure_cd_on_cutline(
+                latent, simulator.resist.threshold, -pitch / 2, pitch / 2, 0.0
+            )
+    return data
+
+
+@dataclass(frozen=True)
+class ProcessWindow:
+    """Per-defocus exposure latitude, and the overall depth of focus."""
+
+    cd_tolerance: float
+    #: defocus -> (min passing dose, max passing dose); missing = no window
+    latitude: Dict[float, Tuple[float, float]]
+
+    def exposure_latitude_percent(self, defocus: float) -> float:
+        if defocus not in self.latitude:
+            return 0.0
+        lo, hi = self.latitude[defocus]
+        return 100.0 * (hi - lo) / ((hi + lo) / 2)
+
+    def depth_of_focus(self, min_latitude_percent: float = 3.0) -> float:
+        """Largest defocus still offering the required exposure latitude.
+
+        Defocus is sampled one-sided (the pupil is symmetric in z to first
+        order), so the usable DOF is twice the returned value.
+        """
+        passing = [
+            z for z in self.latitude
+            if self.exposure_latitude_percent(z) >= min_latitude_percent
+        ]
+        return max(passing) if passing else 0.0
+
+
+def extract_process_window(
+    data: BossungData, cd_tolerance_fraction: float = 0.1
+) -> ProcessWindow:
+    """The dose range keeping |CD - drawn| within tolerance, per defocus."""
+    tolerance = cd_tolerance_fraction * data.line_width
+    latitude: Dict[float, Tuple[float, float]] = {}
+    for defocus in data.defoci():
+        passing = [
+            dose for dose, cd in data.curve_at_defocus(defocus)
+            if cd > 0 and abs(cd - data.line_width) <= tolerance
+        ]
+        if passing:
+            latitude[defocus] = (min(passing), max(passing))
+    return ProcessWindow(cd_tolerance=tolerance, latitude=latitude)

@@ -1,0 +1,19 @@
+"""Design-based metrology: printed gate-CD extraction and statistics."""
+
+from repro.metrology.gate_cd import (
+    GateCdMeasurement,
+    measure_gate_cds,
+    measure_layout_gate_cds,
+)
+from repro.metrology.sites import MetrologySite, select_sites
+from repro.metrology.statistics import CdStatistics, summarize_cds
+
+__all__ = [
+    "GateCdMeasurement",
+    "measure_gate_cds",
+    "measure_layout_gate_cds",
+    "MetrologySite",
+    "select_sites",
+    "CdStatistics",
+    "summarize_cds",
+]

@@ -1,0 +1,73 @@
+"""Design-based metrology site selection.
+
+The paper's companion work introduced Design-Driven Metrology: measurement
+jobs generated from layout coordinates instead of hand-picked SEM sites.
+``select_sites`` turns the placed design's transistor map into a metrology
+job, optionally restricted to tagged (critical) gates or subsampled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class MetrologySite:
+    """One CD-SEM-style measurement site."""
+
+    key: Tuple[str, str]   # (gate instance, transistor)
+    rect: Rect
+    tag: str = "standard"  # "standard" | "critical" | "matching"
+
+    @property
+    def gate_name(self) -> str:
+        return self.key[0]
+
+    @property
+    def transistor_name(self) -> str:
+        return self.key[1]
+
+
+def select_sites(
+    gate_rects: Mapping[Tuple[str, str], Rect],
+    critical_gates: Optional[Set[str]] = None,
+    sample_fraction: float = 1.0,
+    seed: int = 0,
+    critical_only: bool = False,
+) -> List[MetrologySite]:
+    """Build the metrology job.
+
+    ``critical_gates`` tags sites on those instances as "critical"; with
+    ``critical_only`` every other site is dropped (the selective-extraction
+    mode of the paper).  ``sample_fraction`` subsamples the *non-critical*
+    population — critical sites are always kept.
+    """
+    if not 0.0 <= sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be within [0, 1]")
+    critical = critical_gates or set()
+    rng = random.Random(seed)
+    sites: List[MetrologySite] = []
+    for key in sorted(gate_rects):
+        gate_name, _ = key
+        is_critical = gate_name in critical
+        if critical_only and not is_critical:
+            continue
+        if not is_critical and rng.random() > sample_fraction:
+            continue
+        sites.append(
+            MetrologySite(
+                key=key,
+                rect=gate_rects[key],
+                tag="critical" if is_critical else "standard",
+            )
+        )
+    return sites
+
+
+def sites_as_gate_rects(sites: Sequence[MetrologySite]) -> Dict[Tuple[str, str], Rect]:
+    """Back to the mapping form the measurement engine consumes."""
+    return {site.key: site.rect for site in sites}

@@ -1,0 +1,98 @@
+"""CD population statistics.
+
+Summaries the flow reports: mean/sigma/extremes of printed-vs-drawn error,
+plus a systematic/random split by grouping repeated instances of the same
+cell context (the systematic part is what OPC left behind; the residual
+within a group behaves like random CD noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrology.gate_cd import GateCdMeasurement
+
+
+@dataclass(frozen=True)
+class CdStatistics:
+    """Population summary of CD errors (printed minus drawn, nm)."""
+
+    count: int
+    mean: float
+    sigma: float
+    minimum: float
+    maximum: float
+
+    @property
+    def range(self) -> float:
+        return self.maximum - self.minimum
+
+    @property
+    def three_sigma(self) -> float:
+        return 3.0 * self.sigma
+
+    def __str__(self):
+        return (
+            f"n={self.count} mean={self.mean:+.2f} sigma={self.sigma:.2f} "
+            f"range=[{self.minimum:+.2f}, {self.maximum:+.2f}] nm"
+        )
+
+
+def summarize_cds(measurements: Mapping[Hashable, GateCdMeasurement]) -> CdStatistics:
+    """Statistics of mean-CD error over a measurement population."""
+    errors = [m.error for m in measurements.values() if m.printed]
+    if not errors:
+        return CdStatistics(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    arr = np.asarray(errors)
+    return CdStatistics(
+        count=len(arr),
+        mean=float(arr.mean()),
+        sigma=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def histogram_of_errors(
+    measurements: Mapping[Hashable, GateCdMeasurement],
+    bin_width: float = 1.0,
+) -> List[Tuple[float, int]]:
+    """(bin center, count) histogram of CD errors for report printing."""
+    errors = [m.error for m in measurements.values() if m.printed]
+    if not errors:
+        return []
+    arr = np.asarray(errors)
+    lo = np.floor(arr.min() / bin_width) * bin_width
+    hi = np.ceil(arr.max() / bin_width) * bin_width + bin_width / 2
+    edges = np.arange(lo, hi + bin_width, bin_width)
+    counts, edges = np.histogram(arr, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return [(float(c), int(n)) for c, n in zip(centers, counts)]
+
+
+def systematic_random_split(
+    groups: Mapping[Hashable, Sequence[float]],
+) -> Tuple[float, float]:
+    """Split CD error variance into systematic and random components.
+
+    ``groups`` maps a context signature (e.g. cell name + transistor name)
+    to the CD errors of its instances.  The variance of group means is the
+    systematic (context-driven) part; the pooled within-group variance is
+    the random part.  Returns (sigma_systematic, sigma_random).
+    """
+    means = []
+    residuals: List[float] = []
+    for errors in groups.values():
+        arr = np.asarray(list(errors), dtype=float)
+        if arr.size == 0:
+            continue
+        means.append(arr.mean())
+        residuals.extend(arr - arr.mean())
+    if not means:
+        return (float("nan"), float("nan"))
+    sigma_sys = float(np.std(means))
+    sigma_rand = float(np.std(residuals)) if residuals else 0.0
+    return (sigma_sys, sigma_rand)

@@ -1,0 +1,22 @@
+"""Optical proximity correction: rule-based, model-based, SRAF, and ORC."""
+
+from repro.opc.rules import RuleOpcRecipe, apply_rule_opc
+from repro.opc.model_based import ModelOpcRecipe, OpcResult, apply_model_opc
+from repro.opc.sraf import SrafRecipe, insert_srafs
+from repro.opc.orc import OrcReport, OrcViolation, run_orc
+from repro.opc.mrc import MrcRecipe, check_mrc
+
+__all__ = [
+    "RuleOpcRecipe",
+    "apply_rule_opc",
+    "ModelOpcRecipe",
+    "OpcResult",
+    "apply_model_opc",
+    "SrafRecipe",
+    "insert_srafs",
+    "OrcReport",
+    "OrcViolation",
+    "run_orc",
+    "MrcRecipe",
+    "check_mrc",
+]

@@ -1,0 +1,39 @@
+"""Mask rule checks (MRC).
+
+OPC output must still be writable by the mask shop: jogs, slivers, and
+gaps below the mask-write resolution are rejected.  Dimensions are wafer
+scale (the 4x reticle magnification is folded into the limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry import Polygon
+from repro.pdk.rules import RuleViolation, check_min_space, check_min_width
+
+
+@dataclass(frozen=True)
+class MrcRecipe:
+    """Mask manufacturing limits at wafer scale (nm)."""
+
+    min_width: float = 50.0
+    min_space: float = 50.0
+    #: SRAFs are narrower by design; they get their own floor
+    min_sraf_width: float = 30.0
+
+
+def check_mrc(
+    mask_polygons: Sequence[Polygon],
+    recipe: Optional[MrcRecipe] = None,
+    srafs: Sequence[Polygon] = (),
+) -> List[RuleViolation]:
+    """MRC over corrected mask shapes (and optionally their SRAFs)."""
+    recipe = recipe or MrcRecipe()
+    violations = check_min_width(mask_polygons, recipe.min_width, "mrc.width")
+    violations += check_min_space(
+        list(mask_polygons) + list(srafs), recipe.min_space, "mrc.space"
+    )
+    violations += check_min_width(srafs, recipe.min_sraf_width, "mrc.sraf_width")
+    return violations

@@ -1,0 +1,189 @@
+"""Optical rule check (ORC): post-OPC printability verification.
+
+ORC replays the lithography model over final mask data and flags sites
+where the printed image violates printability limits: excessive EPE,
+pinching (necking below a CD floor), bridging between distinct features,
+and line-end pullback.  This is the "post-OPC verification" step whose
+output the paper mines for CD back-annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Fragment, Point, Polygon, Rect, fragment_polygon
+from repro.litho.resist import NOMINAL, ProcessCondition
+from repro.litho.simulator import LithographySimulator
+from repro.opc.model_based import measure_epes
+
+
+@dataclass(frozen=True)
+class OrcViolation:
+    """One flagged printability failure."""
+
+    kind: str        # "epe" | "pinch" | "bridge" | "open"
+    location: Point
+    value: float
+    limit: float
+
+    def __str__(self):
+        return (
+            f"{self.kind} at ({self.location.x:.0f}, {self.location.y:.0f}): "
+            f"{self.value:.1f} vs limit {self.limit:.1f}"
+        )
+
+
+@dataclass
+class OrcReport:
+    """ORC outcome: per-site EPE statistics plus violations."""
+
+    epes: List[float] = field(default_factory=list)
+    violations: List[OrcViolation] = field(default_factory=list)
+
+    @property
+    def rms_epe(self) -> float:
+        return float(np.sqrt(np.mean(np.square(self.epes)))) if self.epes else float("nan")
+
+    @property
+    def max_epe(self) -> float:
+        return float(np.max(np.abs(self.epes))) if self.epes else float("nan")
+
+    @property
+    def mean_epe(self) -> float:
+        return float(np.mean(self.epes)) if self.epes else float("nan")
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def violations_of(self, kind: str) -> List[OrcViolation]:
+        return [v for v in self.violations if v.kind == kind]
+
+
+@dataclass(frozen=True)
+class OrcLimits:
+    """Pass/fail thresholds (nm)."""
+
+    max_epe: float = 8.0
+    pinch_fraction: float = 0.6   # printed CD below this x drawn CD pinches
+    epe_search: float = 80.0
+
+
+def run_orc(
+    simulator: LithographySimulator,
+    mask_polygons: Sequence[Polygon],
+    target_polygons: Sequence[Polygon],
+    limits: Optional[OrcLimits] = None,
+    condition: ProcessCondition = NOMINAL,
+    context: Sequence[Polygon] = (),
+) -> OrcReport:
+    """Verify that ``mask_polygons`` print onto ``target_polygons``.
+
+    Targets are the drawn (design-intent) shapes; masks are the OPC output.
+    ``context`` adds non-target geometry (neighbour tiles, SRAFs) to the
+    image.
+    """
+    limits = limits or OrcLimits()
+    report = OrcReport()
+    if not target_polygons:
+        return report
+    region = Rect.bounding([p.bbox for p in target_polygons])
+    latent = simulator.latent_image(list(mask_polygons) + list(context), region, condition)
+    threshold = simulator.resist.threshold
+
+    for target in target_polygons:
+        fragments = fragment_polygon(target)
+        feature_found = False
+        measured = measure_epes(latent, threshold, fragments, search=limits.epe_search)
+        for frag, epe in zip(fragments, measured):
+            if epe is None:
+                report.violations.append(
+                    OrcViolation("open", frag.control_point, float("nan"), limits.epe_search)
+                )
+                continue
+            feature_found = True
+            report.epes.append(epe)
+            if abs(epe) > limits.max_epe:
+                report.violations.append(
+                    OrcViolation("epe", frag.control_point, epe, limits.max_epe)
+                )
+        if feature_found:
+            _check_pinch(latent, threshold, target, limits, report)
+    _check_bridges(latent, threshold, target_polygons, report)
+    return report
+
+
+def _check_pinch(latent, threshold, target: Polygon, limits: OrcLimits, report: OrcReport):
+    """Probe printed CD across the feature's narrow axis at several stations."""
+    box = target.bbox
+    drawn = min(box.width, box.height)
+    horizontal_cut = box.width <= box.height  # cut across the narrow axis
+    stations = np.linspace(0.15, 0.85, 5)
+    for t in stations:
+        if horizontal_cut:
+            y = box.y0 + t * box.height
+            p0, p1 = (box.x0 - drawn, y), (box.x1 + drawn, y)
+        else:
+            x = box.x0 + t * box.width
+            p0, p1 = (x, box.y0 - drawn), (x, box.y1 + drawn)
+        _, values = latent.profile(p0[0], p0[1], p1[0], p1[1], samples=64)
+        below = values < threshold
+        if not below.any():
+            continue
+        # Longest dark run = printed CD at this station.
+        runs = _longest_run(below)
+        length = float(np.hypot(p1[0] - p0[0], p1[1] - p0[1]))
+        printed = runs * length / (len(values) - 1)
+        if printed < limits.pinch_fraction * drawn:
+            mid = Point((p0[0] + p1[0]) / 2, (p0[1] + p1[1]) / 2)
+            report.violations.append(
+                OrcViolation("pinch", mid, printed, limits.pinch_fraction * drawn)
+            )
+            return
+
+
+def _longest_run(mask: np.ndarray) -> int:
+    best = run = 0
+    for flag in mask:
+        run = run + 1 if flag else 0
+        best = max(best, run)
+    return best
+
+
+def _check_bridges(latent, threshold, targets: Sequence[Polygon], report: OrcReport):
+    """Flag below-threshold image between distinct targets that face each
+    other closely (resist bridging shorts the two features)."""
+    boxes = [t.bbox for t in targets]
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            a, b = boxes[i], boxes[j]
+            gap_rect = _facing_gap(a, b)
+            if gap_rect is None:
+                continue
+            mid = gap_rect.center
+            if latent.value_at(mid.x, mid.y) < threshold:
+                report.violations.append(
+                    OrcViolation("bridge", mid, latent.value_at(mid.x, mid.y), threshold)
+                )
+
+
+def _facing_gap(a: Rect, b: Rect, max_gap: float = 200.0):
+    """The empty rectangle between two horizontally or vertically facing
+    boxes, or None if they do not face within ``max_gap``."""
+    # Horizontal facing: y-ranges overlap.
+    y0, y1 = max(a.y0, b.y0), min(a.y1, b.y1)
+    if y1 > y0:
+        if a.x1 <= b.x0 and b.x0 - a.x1 <= max_gap:
+            return Rect(a.x1, y0, b.x0, y1)
+        if b.x1 <= a.x0 and a.x0 - b.x1 <= max_gap:
+            return Rect(b.x1, y0, a.x0, y1)
+    x0, x1 = max(a.x0, b.x0), min(a.x1, b.x1)
+    if x1 > x0:
+        if a.y1 <= b.y0 and b.y0 - a.y1 <= max_gap:
+            return Rect(x0, a.y1, x1, b.y0)
+        if b.y1 <= a.y0 and a.y0 - b.y1 <= max_gap:
+            return Rect(x0, b.y1, x1, a.y0)
+    return None

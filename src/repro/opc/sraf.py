@@ -1,0 +1,100 @@
+"""Sub-resolution assist feature (SRAF / scatter bar) insertion.
+
+Isolated edges image with less aerial-image slope than dense ones; a thin
+non-printing bar placed a set distance off the edge restores a dense-like
+diffraction environment.  Rule-based placement, as in the paper's era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry import (
+    EdgeOrientation,
+    Fragment,
+    FragmentKind,
+    Polygon,
+    Rect,
+    polygon_edges,
+)
+from repro.opc.rules import _NeighbourField
+
+
+@dataclass(frozen=True)
+class SrafRecipe:
+    """Scatter-bar placement rules (nm)."""
+
+    bar_width: float = 40.0
+    bar_distance: float = 180.0          # edge-to-bar-edge gap
+    min_spacing_for_sraf: float = 520.0  # only edges at least this isolated
+    end_trim: float = 40.0               # bar shorter than its edge by this per side
+    min_bar_length: float = 120.0
+    #: clearance required between a bar and any other shape or bar
+    bar_clearance: float = 100.0
+
+
+def insert_srafs(
+    polygons: Sequence[Polygon],
+    recipe: Optional[SrafRecipe] = None,
+    context: Sequence[Polygon] = (),
+) -> List[Polygon]:
+    """Scatter bars for the isolated edges of ``polygons``.
+
+    Returns only the new bar polygons (callers keep them on the SRAF layer
+    so they can be imaged but excluded from metrology and ORC targets).
+    """
+    recipe = recipe or SrafRecipe()
+    everything = list(polygons) + list(context)
+    field = _NeighbourField(everything, max_search=recipe.min_spacing_for_sraf + 1)
+    bars: List[Polygon] = []
+    placed: List[Rect] = []
+    for index, poly in enumerate(polygons):
+        for edge in polygon_edges(poly):
+            frag = Fragment(edge.start, edge.end, FragmentKind.NORMAL)
+            if frag.length < recipe.min_bar_length + 2 * recipe.end_trim:
+                continue
+            spacing = field.spacing_along_normal(frag, exclude=index)
+            if spacing < recipe.min_spacing_for_sraf:
+                continue
+            bar = _bar_for_edge(frag, recipe)
+            if bar is None:
+                continue
+            if _clear_of(bar, placed, everything, recipe.bar_clearance):
+                bars.append(Polygon.from_rect(bar))
+                placed.append(bar)
+    return bars
+
+
+def _bar_for_edge(frag, recipe: SrafRecipe) -> Rect:
+    normal = frag.outward_normal
+    edge = frag.edge
+    offset_lo = recipe.bar_distance
+    offset_hi = recipe.bar_distance + recipe.bar_width
+    if frag.orientation == EdgeOrientation.VERTICAL:
+        y0 = min(edge.start.y, edge.end.y) + recipe.end_trim
+        y1 = max(edge.start.y, edge.end.y) - recipe.end_trim
+        if y1 - y0 < recipe.min_bar_length:
+            return None
+        if normal.x > 0:
+            return Rect(edge.start.x + offset_lo, y0, edge.start.x + offset_hi, y1)
+        return Rect(edge.start.x - offset_hi, y0, edge.start.x - offset_lo, y1)
+    x0 = min(edge.start.x, edge.end.x) + recipe.end_trim
+    x1 = max(edge.start.x, edge.end.x) - recipe.end_trim
+    if x1 - x0 < recipe.min_bar_length:
+        return None
+    if normal.y > 0:
+        return Rect(x0, edge.start.y + offset_lo, x1, edge.start.y + offset_hi)
+    return Rect(x0, edge.start.y - offset_hi, x1, edge.start.y - offset_lo)
+
+
+def _clear_of(bar: Rect, placed: Sequence[Rect], shapes: Sequence[Polygon],
+              clearance: float) -> bool:
+    grown = bar.expanded(clearance)
+    for other in placed:
+        if grown.overlaps(other, strict=True):
+            return False
+    for poly in shapes:
+        if grown.overlaps(poly.bbox, strict=True):
+            return False
+    return True

@@ -1,0 +1,24 @@
+"""Process design kit: layers, design rules, and technology constants."""
+
+from repro.pdk.layers import Layers
+from repro.pdk.rules import DesignRules, RuleViolation, check_min_space, check_min_width
+from repro.pdk.tech import (
+    DeviceParams,
+    LithoSettings,
+    Technology,
+    make_tech_90nm,
+    make_tech_130nm,
+)
+
+__all__ = [
+    "Layers",
+    "DesignRules",
+    "RuleViolation",
+    "check_min_width",
+    "check_min_space",
+    "DeviceParams",
+    "LithoSettings",
+    "Technology",
+    "make_tech_90nm",
+    "make_tech_130nm",
+]

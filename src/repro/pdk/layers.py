@@ -1,0 +1,66 @@
+"""Canonical layer map.
+
+Layer numbers follow a simple foundry-flavoured convention; the datatype is
+0 for drawn shapes and 1 for derived/OPC output shapes, so a post-OPC layout
+can carry both the design-intent and the corrected mask polygons.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+LayerKey = Tuple[int, int]
+
+
+class Layers:
+    """Static layer registry."""
+
+    NWELL: LayerKey = (2, 0)
+    ACTIVE: LayerKey = (1, 0)
+    NIMPLANT: LayerKey = (3, 0)
+    PIMPLANT: LayerKey = (4, 0)
+    POLY: LayerKey = (10, 0)
+    CONTACT: LayerKey = (20, 0)
+    METAL1: LayerKey = (30, 0)
+    VIA1: LayerKey = (40, 0)
+    METAL2: LayerKey = (50, 0)
+    BOUNDARY: LayerKey = (63, 0)
+
+    #: OPC-corrected mask shapes (datatype 1 of the target layer).
+    POLY_OPC: LayerKey = (10, 1)
+    ACTIVE_OPC: LayerKey = (1, 1)
+    METAL1_OPC: LayerKey = (30, 1)
+
+    #: Sub-resolution assist features (never meant to print).
+    POLY_SRAF: LayerKey = (10, 2)
+
+    #: Simulated printed contours.
+    POLY_PRINTED: LayerKey = (10, 9)
+
+    _NAMES = {}
+
+    @classmethod
+    def name_of(cls, key: LayerKey) -> str:
+        """Human-readable name for a layer key."""
+        if not cls._NAMES:
+            cls._NAMES = {
+                value: name
+                for name, value in vars(cls).items()
+                if isinstance(value, tuple) and len(value) == 2
+            }
+        return cls._NAMES.get(key, f"L{key[0]}D{key[1]}")
+
+    @staticmethod
+    def opc_variant(key: LayerKey) -> LayerKey:
+        """The datatype-1 (OPC output) twin of a drawn layer."""
+        return (key[0], 1)
+
+    @staticmethod
+    def sraf_variant(key: LayerKey) -> LayerKey:
+        """The datatype-2 (assist feature) twin of a drawn layer."""
+        return (key[0], 2)
+
+    @staticmethod
+    def printed_variant(key: LayerKey) -> LayerKey:
+        """The datatype-9 (simulated contour) twin of a drawn layer."""
+        return (key[0], 9)

@@ -1,0 +1,188 @@
+"""Design rules and a small geometric DRC.
+
+The rule set is deliberately the classical width/space/enclosure vocabulary
+of the 90 nm era (the paper predates restrictive design rules).  The checks
+here keep the standard-cell generators honest and let tests assert that
+generated layout is legal before it is handed to OPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry import Polygon, Rect, Transform, decompose_rectilinear
+from repro.pdk.layers import LayerKey, Layers
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One DRC violation: which rule, where, and the offending value."""
+
+    rule: str
+    location: Rect
+    actual: float
+    required: float
+
+    def __str__(self):
+        return (
+            f"{self.rule}: {self.actual:.1f} nm < {self.required:.1f} nm "
+            f"near ({self.location.center.x:.0f}, {self.location.center.y:.0f})"
+        )
+
+
+@dataclass
+class DesignRules:
+    """Minimum width / spacing / enclosure rules, all in nanometres."""
+
+    #: drawn transistor gate length (poly width over active)
+    gate_length: float = 90.0
+    #: minimum poly width outside the gate region
+    poly_width: float = 90.0
+    poly_space: float = 110.0
+    #: contacted gate pitch used by the standard-cell row
+    poly_pitch: float = 320.0
+    #: poly endcap past active
+    poly_endcap: float = 90.0
+    active_width: float = 120.0
+    active_space: float = 160.0
+    #: active extension past the gate (source/drain landing)
+    active_overhang: float = 180.0
+    contact_size: float = 110.0
+    contact_space: float = 130.0
+    contact_to_gate: float = 60.0
+    poly_contact_enclosure: float = 20.0
+    active_contact_enclosure: float = 30.0
+    metal1_width: float = 120.0
+    metal1_space: float = 120.0
+    metal1_contact_enclosure: float = 25.0
+    #: standard cell row height (tracks of metal1 pitch)
+    cell_height: float = 2880.0
+
+    min_width: Dict[LayerKey, float] = field(default_factory=dict)
+    min_space: Dict[LayerKey, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.min_width:
+            self.min_width = {
+                Layers.POLY: self.poly_width,
+                Layers.ACTIVE: self.active_width,
+                Layers.CONTACT: self.contact_size,
+                Layers.METAL1: self.metal1_width,
+            }
+        if not self.min_space:
+            self.min_space = {
+                Layers.POLY: self.poly_space,
+                Layers.ACTIVE: self.active_space,
+                Layers.CONTACT: self.contact_space,
+                Layers.METAL1: self.metal1_space,
+            }
+
+
+def polygon_min_width(poly: Polygon) -> float:
+    """Minimum feature width of a rectilinear polygon.
+
+    The horizontal-slab decomposition gives the exact horizontal chord of
+    the polygon in each slab (the rectangle x-extent); decomposing the
+    90-degree-rotated polygon gives the vertical chords.  The feature width
+    is the smaller of the two chord minima — exact for rectilinear shapes.
+    """
+    horizontal = min(r.width for r in decompose_rectilinear(poly))
+    rotated = Transform(rotation=90).apply_polygon(poly)
+    vertical = min(r.width for r in decompose_rectilinear(rotated))
+    return min(horizontal, vertical)
+
+
+def check_min_width(
+    polygons: Sequence[Polygon], minimum: float, rule: str = "min_width"
+) -> List[RuleViolation]:
+    """Flag polygons whose minimum feature width is below ``minimum``."""
+    violations: List[RuleViolation] = []
+    for poly in polygons:
+        narrow = polygon_min_width(poly)
+        if narrow < minimum - 1e-9:
+            violations.append(RuleViolation(rule, poly.bbox, narrow, minimum))
+    return violations
+
+
+def check_min_space(
+    polygons: Sequence[Polygon], minimum: float, rule: str = "min_space"
+) -> List[RuleViolation]:
+    """Flag pairs of polygons whose bounding regions come closer than ``minimum``.
+
+    Uses rectangle decompositions so L/U shapes measure correctly; only
+    disjoint polygons are compared (abutting/overlapping shapes merge
+    electrically and are exempt from spacing).
+    """
+    decomposed: List[Tuple[Polygon, List[Rect]]] = [
+        (poly, decompose_rectilinear(poly)) for poly in polygons
+    ]
+    violations: List[RuleViolation] = []
+    for i in range(len(decomposed)):
+        poly_a, rects_a = decomposed[i]
+        for j in range(i + 1, len(decomposed)):
+            poly_b, rects_b = decomposed[j]
+            if poly_a.bbox.expanded(minimum).intersection(poly_b.bbox) is None:
+                continue
+            gap = _polygon_gap(rects_a, rects_b)
+            if gap == 0.0:
+                continue  # touching or overlapping: connected, not a spacing issue
+            if gap < minimum - 1e-9:
+                violations.append(
+                    RuleViolation(rule, poly_a.bbox.union_bbox(poly_b.bbox), gap, minimum)
+                )
+    return violations
+
+
+def _polygon_gap(rects_a: Sequence[Rect], rects_b: Sequence[Rect]) -> float:
+    gap = float("inf")
+    for a in rects_a:
+        for b in rects_b:
+            gap = min(gap, _rect_gap(a, b))
+            if gap == 0.0:
+                return 0.0
+    return gap
+
+
+def _rect_gap(a: Rect, b: Rect) -> float:
+    dx = max(a.x0 - b.x1, b.x0 - a.x1, 0.0)
+    dy = max(a.y0 - b.y1, b.y0 - a.y1, 0.0)
+    # Euclidean corner-to-corner distance; matches DRC "diagonal spacing".
+    return (dx * dx + dy * dy) ** 0.5
+
+
+def check_enclosure(
+    inner: Sequence[Polygon], outer: Sequence[Polygon], minimum: float, rule: str = "enclosure"
+) -> List[RuleViolation]:
+    """Every inner shape must sit inside some outer shape with ``minimum`` margin."""
+    violations: List[RuleViolation] = []
+    for shape in inner:
+        box = shape.bbox
+        enclosed = False
+        best_margin = -float("inf")
+        for host in outer:
+            hbox = host.bbox
+            margin = min(
+                box.x0 - hbox.x0, box.y0 - hbox.y0, hbox.x1 - box.x1, hbox.y1 - box.y1
+            )
+            best_margin = max(best_margin, margin)
+            if margin >= minimum - 1e-9:
+                enclosed = True
+                break
+        if not enclosed:
+            violations.append(RuleViolation(rule, box, max(best_margin, 0.0), minimum))
+    return violations
+
+
+def run_drc(
+    shapes_by_layer: Dict[LayerKey, Sequence[Polygon]], rules: DesignRules
+) -> List[RuleViolation]:
+    """Width and spacing DRC over a flat layout, layer by layer."""
+    violations: List[RuleViolation] = []
+    for layer, minimum in rules.min_width.items():
+        polys = shapes_by_layer.get(layer, ())
+        violations.extend(check_min_width(polys, minimum, f"{Layers.name_of(layer)}.width"))
+    for layer, minimum in rules.min_space.items():
+        polys = shapes_by_layer.get(layer, ())
+        violations.extend(check_min_space(polys, minimum, f"{Layers.name_of(layer)}.space"))
+    return violations

@@ -1,0 +1,56 @@
+"""Assembly of a placed netlist into a hierarchical layout.
+
+``assemble_layout`` produces the GDS-ready :class:`~repro.gds.Layout` (one
+structure per distinct library cell plus a flat top cell of SREFs), and
+``instance_gate_rects`` maps every transistor of every placed gate to its
+absolute gate region — the measurement sites for post-OPC CD extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cells import CellLibrary
+from repro.circuits import Netlist
+from repro.gds import Layout
+from repro.geometry import Rect
+from repro.place.placer import Placement
+
+TOP_CELL = "CHIP"
+
+#: key: (gate instance name, transistor name)
+GateRectMap = Dict[Tuple[str, str], Rect]
+
+
+def assemble_layout(
+    netlist: Netlist, library: CellLibrary, placement: Placement
+) -> Layout:
+    """Build the full-chip layout for a placement."""
+    layout = Layout(name=netlist.name.upper())
+    used_cells = {p.cell_name for p in placement.gates.values()}
+    for cell_name in sorted(used_cells):
+        layout.add_cell(library[cell_name].layout)
+    top = layout.new_cell(TOP_CELL)
+    for gate_name in sorted(placement.gates):
+        placed = placement.gates[gate_name]
+        top.add_instance(placed.cell_name, placed.transform)
+    return layout
+
+
+def instance_gate_rects(
+    netlist: Netlist, library: CellLibrary, placement: Placement
+) -> GateRectMap:
+    """Absolute gate rectangles of every transistor of every placed gate.
+
+    Transforms can mirror/rotate, so the cell-local gate rect is mapped
+    through the instance transform and re-normalized to an axis-aligned
+    rect (gate rects are axis-aligned in all eight Manhattan orientations).
+    """
+    rects: GateRectMap = {}
+    for gate_name, placed in placement.gates.items():
+        cell = library[placed.cell_name]
+        for transistor in cell.transistors:
+            rects[(gate_name, transistor.name)] = placed.transform.apply_rect(
+                transistor.gate_rect
+            )
+    return rects

@@ -1,0 +1,5 @@
+"""Grid-based global/detailed routing over the placed design."""
+
+from repro.route.router import GridRouter, RoutedNet, RoutingResult, route_design
+
+__all__ = ["GridRouter", "RoutedNet", "RoutingResult", "route_design"]

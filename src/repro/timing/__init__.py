@@ -1,0 +1,42 @@
+"""Static timing analysis: library characterization, the STA engine,
+path reporting, CD back-annotation, corners, and Monte-Carlo SSTA."""
+
+from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingTable
+from repro.timing.characterize import characterize_library
+from repro.timing.sta import StaEngine, StaResult, TimingConstraints
+from repro.timing.paths import PathStage, TimingPath, top_paths
+from repro.timing.derate import InstanceDerate, derates_from_measurements, instance_leakage
+from repro.timing.mc import CornerSpec, MonteCarloResult, run_corners, run_monte_carlo
+from repro.timing.hold import HoldEndpoint, HoldResult, run_hold
+from repro.timing.report import report_summary, report_timing
+from repro.timing.liberty_writer import write_liberty
+from repro.timing.incremental import affected_gates, run_incremental
+
+__all__ = [
+    "TimingTable",
+    "TimingArc",
+    "LibertyCell",
+    "LibertyLibrary",
+    "characterize_library",
+    "StaEngine",
+    "StaResult",
+    "TimingConstraints",
+    "TimingPath",
+    "PathStage",
+    "top_paths",
+    "InstanceDerate",
+    "derates_from_measurements",
+    "instance_leakage",
+    "CornerSpec",
+    "MonteCarloResult",
+    "run_corners",
+    "run_monte_carlo",
+    "HoldEndpoint",
+    "HoldResult",
+    "run_hold",
+    "report_timing",
+    "report_summary",
+    "write_liberty",
+    "affected_gates",
+    "run_incremental",
+]

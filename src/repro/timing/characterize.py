@@ -1,0 +1,140 @@
+"""Analytic cell characterization into NLDM tables.
+
+Each arc's delay is the classic switch-resistance model
+
+    delay = 0.69 * R_eff * (C_load + C_parasitic) + k_slew * slew_in
+
+with R_eff from the alpha-power drive current of the worst-case switching
+network (pull-up for output rise, pull-down for fall), and the output slew
+proportional to the same RC product.  The tables exist so the STA engine
+consumes the same artifact a 2005 flow did — and so per-instance derating
+can rescale them without touching the closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.cells import CellLibrary, StandardCell
+from repro.cells.stdcell import unate_inputs
+from repro.device import AlphaPowerModel
+from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingTable
+
+#: default NLDM axes: input slew (ps), output load (fF)
+DEFAULT_SLEWS: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0, 120.0, 240.0)
+DEFAULT_LOADS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: delay contributed per ps of input slew (dimensionless)
+SLEW_TO_DELAY = 0.25
+#: output slew per unit of RC (dimensionless; ~2.2 for 10-90% RC)
+RC_TO_SLEW = 2.2
+
+
+def effective_resistance_kohm(
+    cell: StandardCell, mos_type: str, model: AlphaPowerModel
+) -> float:
+    """Switching resistance of the pull network, in kOhm.
+
+    The network strength is an equivalent W/L; the drive current of that
+    equivalent device at the cell's drawn gate length sets R = 0.7*Vdd/I.
+    """
+    wl = cell.network_strength(mos_type)
+    length = cell.transistors[0].length
+    current = model.drive_current(wl * length, length)
+    return 0.7 * model.params.vdd / current / 1000.0
+
+
+def parasitic_cap_ff(cell: StandardCell, model: AlphaPowerModel) -> float:
+    """Output-node parasitic (drain junction + wiring stub) in fF.
+
+    Approximated as 40% of the gate capacitance of the devices on the
+    output stage — the standard fitting used when junction data is absent.
+    """
+    total = sum(
+        model.gate_capacitance(t.width, t.length)
+        for t in cell.transistors
+    )
+    return 0.4 * total / max(len(cell.inputs), 1)
+
+
+def build_arc_tables(
+    r_kohm: float,
+    c_par: float,
+    slews: Sequence[float],
+    loads: Sequence[float],
+) -> Tuple[TimingTable, TimingTable]:
+    """(delay, output slew) tables for one transition direction."""
+    delay_rows = []
+    slew_rows = []
+    for slew in slews:
+        delay_rows.append(tuple(
+            0.69 * r_kohm * (load + c_par) + SLEW_TO_DELAY * slew for load in loads
+        ))
+        slew_rows.append(tuple(
+            RC_TO_SLEW * r_kohm * (load + c_par) + 0.1 * slew for load in loads
+        ))
+    return (
+        TimingTable(tuple(slews), tuple(loads), tuple(delay_rows)),
+        TimingTable(tuple(slews), tuple(loads), tuple(slew_rows)),
+    )
+
+
+def characterize_cell(
+    cell: StandardCell,
+    model: AlphaPowerModel,
+    slews: Sequence[float] = DEFAULT_SLEWS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+) -> LibertyCell:
+    """NLDM characterization of one standard cell."""
+    caps = {
+        pin: cell.input_capacitance(pin, model.params.cox_af_per_nm2)
+        for pin in cell.inputs
+    }
+    lib_cell = LibertyCell(
+        name=cell.name,
+        input_caps=caps,
+        is_sequential=cell.is_sequential,
+        clock_pin=cell.clock or "",
+    )
+    r_pull_up = effective_resistance_kohm(cell, "p", model)
+    r_pull_down = effective_resistance_kohm(cell, "n", model)
+    c_par = parasitic_cap_ff(cell, model)
+    delay_rise, slew_rise = build_arc_tables(r_pull_up, c_par, slews, loads)
+    delay_fall, slew_fall = build_arc_tables(r_pull_down, c_par, slews, loads)
+
+    if cell.is_sequential:
+        # One clock-to-Q arc; the internal chain is folded into a constant.
+        lib_cell.input_caps[cell.clock] = cell.input_capacitance(
+            cell.clock, model.params.cox_af_per_nm2
+        )
+        internal = 0.69 * (r_pull_up + r_pull_down) * c_par * 3.0
+        lib_cell.clk_to_q = internal
+        lib_cell.setup_time = internal / 2
+        lib_cell.arcs.append(
+            TimingArc(cell.clock, cell.output, "non_unate",
+                      delay_rise, delay_fall, slew_rise, slew_fall)
+        )
+        return lib_cell
+
+    senses = unate_inputs(cell)
+    sense_map = {"positive": "positive", "negative": "negative",
+                 "non-unate": "non_unate", "independent": "positive"}
+    for pin in cell.inputs:
+        lib_cell.arcs.append(
+            TimingArc(pin, cell.output, sense_map[senses[pin]],
+                      delay_rise, delay_fall, slew_rise, slew_fall)
+        )
+    return lib_cell
+
+
+def characterize_library(
+    cells: CellLibrary,
+    model: AlphaPowerModel,
+    slews: Sequence[float] = DEFAULT_SLEWS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+) -> LibertyLibrary:
+    """Characterize every cell of the library."""
+    liberty = LibertyLibrary(name=f"{cells.tech.name}_typ")
+    for cell in cells:
+        liberty.add(characterize_cell(cell, model, slews, loads))
+    return liberty

@@ -1,0 +1,138 @@
+"""Incremental timing update.
+
+Selective OPC changes a handful of instances; re-deriving the whole chip's
+timing for each what-if is wasteful.  ``run_incremental`` re-propagates
+only the fan-out cone of the changed instances (plus the drivers of their
+input nets, whose loads changed with the instances' pin capacitance) and
+splices the result into the previous analysis.
+
+The result is bit-identical to a full re-run — asserted by the test suite —
+because arrival times outside the recomputed cone cannot change: STA
+arrival is a pure function of the fan-in cone, and every node whose fan-in
+intersects the change set is in the recomputed cone by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.timing.sta import (
+    Endpoint,
+    InstanceDerate,
+    StaEngine,
+    StaResult,
+    TimingConstraints,
+    TRANSITIONS,
+)
+
+_NO_DERATE = InstanceDerate()
+
+
+def affected_gates(
+    engine: StaEngine, changed_gates: Set[str]
+) -> Set[str]:
+    """The changed instances, the drivers of their input nets (their load
+    changed), and everything downstream of either."""
+    seeds: Set[str] = set(changed_gates)
+    for gate_name in changed_gates:
+        gate = engine.netlist.gates[gate_name]
+        cell = engine.cells[gate.cell_name]
+        sink_pins = list(cell.inputs) + ([cell.clock] if cell.clock else [])
+        for pin in sink_pins:
+            driver = engine.netlist.driver_of(gate.connections[pin], engine.cells)
+            if driver is not None:
+                seeds.add(driver.name)
+
+    # Downstream closure over the topological order.
+    affected: Set[str] = set(seeds)
+    dirty_nets: Set[str] = set()
+    for gate_name in seeds:
+        gate = engine.netlist.gates[gate_name]
+        cell = engine.cells[gate.cell_name]
+        dirty_nets.add(gate.connections[cell.output])
+    for gate in engine._order:
+        cell = engine.cells[gate.cell_name]
+        if gate.name in affected:
+            dirty_nets.add(gate.connections[cell.output])
+            continue
+        sink_pins = list(cell.inputs) + ([cell.clock] if cell.clock else [])
+        if any(gate.connections[pin] in dirty_nets for pin in sink_pins):
+            affected.add(gate.name)
+            dirty_nets.add(gate.connections[cell.output])
+    return affected
+
+
+def run_incremental(
+    engine: StaEngine,
+    previous: StaResult,
+    changed_gates: Set[str],
+    constraints: Optional[TimingConstraints] = None,
+    derates: Optional[Mapping[str, InstanceDerate]] = None,
+) -> StaResult:
+    """Update ``previous`` for a new derate set differing only on
+    ``changed_gates``.  Exact: matches a full :meth:`StaEngine.run`."""
+    constraints = constraints or TimingConstraints()
+    derates = derates or {}
+    cone = affected_gates(engine, changed_gates)
+
+    result = StaResult(clock_period_ps=constraints.clock_period_ps)
+    result.arrivals = dict(previous.arrivals)
+    result.slews = dict(previous.slews)
+    result.predecessors = dict(previous.predecessors)
+
+    # Clear the cone's output nodes, then re-propagate just those gates.
+    cone_nets = set()
+    for gate_name in cone:
+        gate = engine.netlist.gates[gate_name]
+        cell = engine.cells[gate.cell_name]
+        out_net = gate.connections[cell.output]
+        cone_nets.add(out_net)
+        for transition in TRANSITIONS:
+            result.arrivals.pop((out_net, transition), None)
+            result.slews.pop((out_net, transition), None)
+            result.predecessors.pop((out_net, transition), None)
+
+    for gate in engine._order:
+        if gate.name not in cone:
+            continue
+        cell = engine.cells[gate.cell_name]
+        lib_cell = engine.liberty[gate.cell_name]
+        derate = derates.get(gate.name, _NO_DERATE)
+        out_net = gate.connections[cell.output]
+        load = engine.net_load_ff(out_net, constraints, derates)
+
+        if lib_cell.is_sequential:
+            for transition in TRANSITIONS:
+                scale = (derate.delay_rise_scale if transition == "rise"
+                         else derate.delay_fall_scale)
+                result.arrivals[(out_net, transition)] = lib_cell.clk_to_q * scale
+                result.slews[(out_net, transition)] = constraints.input_slew_ps
+                result.predecessors[(out_net, transition)] = None
+            continue
+
+        for arc in lib_cell.arcs:
+            in_net = gate.connections[arc.input_pin]
+            for in_transition in TRANSITIONS:
+                key_in = (in_net, in_transition)
+                if key_in not in result.arrivals:
+                    continue
+                for out_transition in arc.output_transitions(in_transition):
+                    delay_table, slew_table = arc.tables_for(out_transition)
+                    scale = (derate.delay_rise_scale if out_transition == "rise"
+                             else derate.delay_fall_scale)
+                    delay = delay_table.lookup(result.slews[key_in], load) * scale
+                    delay += engine._wire_delay_ps(out_net, load)
+                    out_slew = slew_table.lookup(result.slews[key_in], load)
+                    key_out = (out_net, out_transition)
+                    candidate = result.arrivals[key_in] + delay
+                    if candidate > result.arrivals.get(key_out, -float("inf")):
+                        result.arrivals[key_out] = candidate
+                        result.slews[key_out] = out_slew
+                        result.predecessors[key_out] = (
+                            in_net, in_transition, gate.name, delay
+                        )
+                    elif key_out in result.slews:
+                        result.slews[key_out] = max(result.slews[key_out], out_slew)
+
+    engine._collect_endpoints(result, constraints)
+    return result

@@ -1,0 +1,96 @@
+"""Liberty (.lib) text emission.
+
+Writes the characterized library in the classic Synopsys Liberty syntax so
+the artifact is inspectable with standard tooling habits (and so tests can
+assert the flow produces a legal-looking library).  Values use the units
+of this package: ns are avoided — time is declared in ps, capacitance in
+fF.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingTable
+
+
+def write_liberty(library: LibertyLibrary) -> str:
+    """Render the whole library as Liberty text."""
+    out: List[str] = [
+        f"library ({library.name}) {{",
+        '  time_unit : "1ps";',
+        '  capacitive_load_unit (1, "ff");',
+        "  delay_model : table_lookup;",
+        "",
+    ]
+    template = _template_of(library)
+    if template is not None:
+        slews, loads = template
+        out.append(f"  lu_table_template (delay_template) {{")
+        out.append("    variable_1 : input_net_transition;")
+        out.append("    variable_2 : total_output_net_capacitance;")
+        out.append(f"    index_1 ({_values(slews)});")
+        out.append(f"    index_2 ({_values(loads)});")
+        out.append("  }")
+        out.append("")
+    for name in sorted(library.cells):
+        out.extend(_cell_lines(library.cells[name]))
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def _template_of(library: LibertyLibrary):
+    for cell in library.cells.values():
+        for arc in cell.arcs:
+            return arc.delay_rise.slews, arc.delay_rise.loads
+    return None
+
+
+def _cell_lines(cell: LibertyCell) -> List[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+    if cell.is_sequential:
+        lines.append('    ff (IQ, IQN) { clocked_on : "%s"; next_state : "D"; }'
+                     % cell.clock_pin)
+    for pin, cap in sorted(cell.input_caps.items()):
+        direction = "input"
+        lines.append(f"    pin ({pin}) {{")
+        lines.append(f"      direction : {direction};")
+        if pin == cell.clock_pin:
+            lines.append("      clock : true;")
+        lines.append(f"      capacitance : {cap:.4f};")
+        lines.append("    }")
+    outputs = {arc.output_pin for arc in cell.arcs}
+    for output in sorted(outputs):
+        lines.append(f"    pin ({output}) {{")
+        lines.append("      direction : output;")
+        for arc in cell.arcs:
+            if arc.output_pin != output:
+                continue
+            lines.append(f"      timing () {{")
+            lines.append(f"        related_pin : \"{arc.input_pin}\";")
+            lines.append(f"        timing_sense : {arc.sense}_unate;"
+                         if arc.sense != "non_unate"
+                         else "        timing_sense : non_unate;")
+            lines.extend(_table_lines("cell_rise", arc.delay_rise))
+            lines.extend(_table_lines("cell_fall", arc.delay_fall))
+            lines.extend(_table_lines("rise_transition", arc.slew_rise))
+            lines.extend(_table_lines("fall_transition", arc.slew_fall))
+            lines.append("      }")
+        lines.append("    }")
+    lines.append("  }")
+    lines.append("")
+    return lines
+
+
+def _table_lines(keyword: str, table: TimingTable) -> List[str]:
+    lines = [f"        {keyword} (delay_template) {{"]
+    lines.append(f"          index_1 ({_values(table.slews)});")
+    lines.append(f"          index_2 ({_values(table.loads)});")
+    rows = ", ".join(f'"{", ".join(f"{v:.3f}" for v in row)}"' for row in table.values)
+    lines.append(f"          values ({rows});")
+    lines.append("        }")
+    return lines
+
+
+def _values(axis) -> str:
+    return '"' + ", ".join(f"{v:g}" for v in axis) + '"'

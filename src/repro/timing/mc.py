@@ -1,0 +1,181 @@
+"""Corner-based and Monte-Carlo statistical timing.
+
+The paper's motivation: corner cases assume every gate sits at its
+worst-case CD simultaneously, which silicon never does.  ``run_corners``
+produces that classical guardband; ``run_monte_carlo`` samples per-instance
+CD perturbations (a systematic mean, a spatially correlated component over
+placement, and independent noise) and reruns STA, exposing how pessimistic
+the corners are.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cells import CellLibrary
+from repro.circuits import Netlist
+from repro.device import AlphaPowerModel
+from repro.place.placer import Placement
+from repro.timing.sta import InstanceDerate, StaEngine, TimingConstraints
+
+
+@dataclass(frozen=True)
+class CdVariationSpec:
+    """CD perturbation statistics in nm."""
+
+    mean_nm: float = 0.0
+    sigma_random_nm: float = 2.0
+    sigma_correlated_nm: float = 2.0
+    correlation_length_nm: float = 50_000.0
+    seed: int = 1
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """A classical process corner: every gate at the same CD offset."""
+
+    name: str
+    delta_l_nm: float
+
+
+DEFAULT_CORNERS = (
+    CornerSpec("fast", -6.0),
+    CornerSpec("typical", 0.0),
+    CornerSpec("slow", +6.0),
+)
+
+
+@dataclass
+class MonteCarloResult:
+    """WNS samples plus summary statistics."""
+
+    wns_samples: List[float] = field(default_factory=list)
+    critical_delay_samples: List[float] = field(default_factory=list)
+
+    @property
+    def mean_wns(self) -> float:
+        return sum(self.wns_samples) / len(self.wns_samples)
+
+    @property
+    def sigma_wns(self) -> float:
+        mean = self.mean_wns
+        return (sum((x - mean) ** 2 for x in self.wns_samples) / len(self.wns_samples)) ** 0.5
+
+    @property
+    def min_wns(self) -> float:
+        return min(self.wns_samples)
+
+    def percentile_wns(self, q: float) -> float:
+        ordered = sorted(self.wns_samples)
+        index = min(int(q / 100.0 * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+
+def derate_for_delta_l(cell, delta_l: float, model: AlphaPowerModel) -> InstanceDerate:
+    """Derate for a uniform gate-length shift of one instance."""
+    length = cell.transistors[0].length
+    new_length = max(length + delta_l, model.params.l_min * 0.8)
+    scales = {}
+    for mos_type in ("p", "n"):
+        wl = cell.network_strength(mos_type)
+        width = wl * length
+        scales[mos_type] = (
+            model.drive_current(width, length) / model.drive_current(width, new_length)
+        )
+    return InstanceDerate(
+        delay_rise_scale=scales["p"],
+        delay_fall_scale=scales["n"],
+        cap_scale=new_length / length,
+    )
+
+
+def run_corners(
+    engine: StaEngine,
+    model: AlphaPowerModel,
+    constraints: Optional[TimingConstraints] = None,
+    corners: Sequence[CornerSpec] = DEFAULT_CORNERS,
+) -> Dict[str, float]:
+    """WNS at each classical corner (all instances shifted together)."""
+    results: Dict[str, float] = {}
+    for corner in corners:
+        derates = {
+            gate.name: derate_for_delta_l(
+                engine.cells[gate.cell_name], corner.delta_l_nm, model
+            )
+            for gate in engine.netlist.gates.values()
+        }
+        results[corner.name] = engine.run(constraints, derates).wns
+    return results
+
+
+def sample_instance_deltas(
+    netlist: Netlist,
+    placement: Optional[Placement],
+    spec: CdVariationSpec,
+    sample_index: int,
+) -> Dict[str, float]:
+    """Per-instance delta-L (nm) for one Monte-Carlo sample.
+
+    The correlated component is a smooth random field over placement
+    coordinates (two cosine harmonics with random phase — cheap, bounded,
+    and spatially smooth); the random component is i.i.d. per instance.
+    """
+    rng = random.Random(spec.seed * 1_000_003 + sample_index)
+    phase_x = rng.uniform(0, 2 * math.pi)
+    phase_y = rng.uniform(0, 2 * math.pi)
+    amplitude = rng.gauss(0.0, spec.sigma_correlated_nm)
+    deltas: Dict[str, float] = {}
+    for gate_name in netlist.gates:
+        correlated = 0.0
+        if placement is not None and spec.sigma_correlated_nm > 0:
+            center = placement.gates[gate_name].bbox.center
+            wave = math.cos(
+                2 * math.pi * center.x / spec.correlation_length_nm + phase_x
+            ) * math.cos(2 * math.pi * center.y / spec.correlation_length_nm + phase_y)
+            correlated = amplitude * wave
+        elif spec.sigma_correlated_nm > 0:
+            correlated = amplitude  # fully shared when no placement given
+        deltas[gate_name] = spec.mean_nm + correlated + rng.gauss(0.0, spec.sigma_random_nm)
+    return deltas
+
+
+def run_monte_carlo(
+    engine: StaEngine,
+    model: AlphaPowerModel,
+    samples: int = 100,
+    spec: Optional[CdVariationSpec] = None,
+    constraints: Optional[TimingConstraints] = None,
+    base_derates: Optional[Dict[str, InstanceDerate]] = None,
+) -> MonteCarloResult:
+    """Monte-Carlo SSTA: sample CD fields, rerun STA, collect WNS.
+
+    ``base_derates`` (e.g. the post-OPC systematic back-annotation) compose
+    multiplicatively with the sampled variation.
+    """
+    spec = spec or CdVariationSpec()
+    result = MonteCarloResult()
+    base = base_derates or {}
+    for index in range(samples):
+        deltas = sample_instance_deltas(engine.netlist, engine.placement, spec, index)
+        derates: Dict[str, InstanceDerate] = {}
+        for gate in engine.netlist.gates.values():
+            sampled = derate_for_delta_l(
+                engine.cells[gate.cell_name], deltas[gate.name], model
+            )
+            prior = base.get(gate.name)
+            if prior is None:
+                derates[gate.name] = sampled
+            else:
+                derates[gate.name] = InstanceDerate(
+                    delay_rise_scale=prior.delay_rise_scale * sampled.delay_rise_scale,
+                    delay_fall_scale=prior.delay_fall_scale * sampled.delay_fall_scale,
+                    cap_scale=prior.cap_scale * sampled.cap_scale,
+                    failed=prior.failed,
+                )
+        sta = engine.run(constraints, derates)
+        result.wns_samples.append(sta.wns)
+        result.critical_delay_samples.append(sta.critical_delay)
+    return result

@@ -1,0 +1,104 @@
+"""Critical-path reconstruction and ranking.
+
+The paper's speed-path tables rank endpoints by slack and inspect the
+worst path into each.  ``top_paths`` reconstructs exactly that: one worst
+path per endpoint, ordered most-critical first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.timing.sta import StaResult
+
+
+@dataclass(frozen=True)
+class PathStage:
+    """One hop of a timing path."""
+
+    gate: str            # gate instance ("" for the launch point)
+    net: str             # net the stage arrives on
+    transition: str
+    arrival: float
+    delay: float         # arc delay into this stage
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """A reconstructed worst path into one endpoint."""
+
+    endpoint_net: str
+    endpoint_transition: str
+    arrival: float
+    slack: float
+    stages: Tuple[PathStage, ...]
+
+    @property
+    def gates(self) -> List[str]:
+        return [s.gate for s in self.stages if s.gate]
+
+    @property
+    def depth(self) -> int:
+        return len(self.gates)
+
+    @property
+    def name(self) -> str:
+        return f"{self.endpoint_net}:{self.endpoint_transition}"
+
+    def __str__(self):
+        chain = " -> ".join(self.gates) or "<direct>"
+        return (
+            f"path to {self.name}: arrival {self.arrival:.1f} ps, "
+            f"slack {self.slack:+.1f} ps via {chain}"
+        )
+
+
+def reconstruct_path(result: StaResult, net: str, transition: str) -> TimingPath:
+    """Walk the predecessor chain back from an endpoint node."""
+    key = (net, transition)
+    if key not in result.arrivals:
+        raise KeyError(f"no timing node {key}")
+    stages: List[PathStage] = []
+    slack_lookup = {(e.net, e.transition): e.slack for e in result.endpoints}
+    while True:
+        prev = result.predecessors.get(key)
+        if prev is None:
+            stages.append(PathStage("", key[0], key[1], result.arrivals[key], 0.0))
+            break
+        prev_net, prev_transition, gate, delay = prev
+        stages.append(PathStage(gate, key[0], key[1], result.arrivals[key], delay))
+        key = (prev_net, prev_transition)
+    stages.reverse()
+    return TimingPath(
+        endpoint_net=net,
+        endpoint_transition=transition,
+        arrival=result.arrivals[(net, transition)],
+        slack=slack_lookup.get((net, transition),
+                               result.clock_period_ps - result.arrivals[(net, transition)]),
+        stages=tuple(stages),
+    )
+
+
+def top_paths(result: StaResult, k: int = 10) -> List[TimingPath]:
+    """The ``k`` most critical endpoint paths (one per endpoint node).
+
+    Endpoints are collapsed per net (worst transition) so the ranking
+    matches the paper's per-speed-path view, then ordered by slack.
+    """
+    worst_per_net: Dict[str, Tuple[float, str]] = {}
+    for endpoint in result.endpoints:
+        slack = endpoint.slack
+        if endpoint.net not in worst_per_net or slack < worst_per_net[endpoint.net][0]:
+            worst_per_net[endpoint.net] = (slack, endpoint.transition)
+    ranked = sorted(worst_per_net.items(), key=lambda item: item[1][0])
+    paths = [
+        reconstruct_path(result, net, transition)
+        for net, (slack, transition) in ranked[:k]
+    ]
+    return paths
+
+
+def path_rank_map(paths: List[TimingPath]) -> Dict[str, int]:
+    """Endpoint net -> rank (0 = most critical)."""
+    return {path.endpoint_net: rank for rank, path in enumerate(paths)}

@@ -1,0 +1,57 @@
+"""Human-readable timing reports (signoff-tool style)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cells import CellLibrary
+from repro.circuits import Netlist
+from repro.timing.paths import TimingPath, top_paths
+from repro.timing.sta import StaResult
+
+
+def report_timing(
+    result: StaResult,
+    k: int = 3,
+    netlist: Optional[Netlist] = None,
+) -> str:
+    """A classic per-path timing report: one block per critical endpoint.
+
+    ``netlist`` (optional) annotates each stage with its cell type.
+    """
+    blocks: List[str] = []
+    for path in top_paths(result, k):
+        lines = [
+            f"Path to {path.endpoint_net} ({path.endpoint_transition})",
+            f"  required: {result.clock_period_ps:10.1f} ps",
+            f"  arrival:  {path.arrival:10.1f} ps",
+            f"  slack:    {path.slack:+10.1f} ps "
+            f"({'VIOLATED' if path.slack < 0 else 'MET'})",
+            "",
+            f"  {'point':<28} {'incr':>8} {'arrive':>8}",
+            f"  {'-' * 46}",
+        ]
+        for stage in path.stages:
+            if stage.gate:
+                cell = ""
+                if netlist is not None:
+                    cell = f" ({netlist.gates[stage.gate].cell_name})"
+                point = f"{stage.gate}{cell}/{stage.net}"
+            else:
+                point = f"{stage.net} (launch)"
+            arrow = "^" if stage.transition == "rise" else "v"
+            lines.append(
+                f"  {point:<28} {stage.delay:8.1f} {stage.arrival:8.1f} {arrow}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def report_summary(result: StaResult) -> str:
+    """One-paragraph timing summary (WNS / TNS / endpoint counts)."""
+    failing = sum(1 for e in result.endpoints if e.slack < 0)
+    return (
+        f"clock period {result.clock_period_ps:.1f} ps | "
+        f"WNS {result.wns:+.1f} ps | TNS {result.tns:+.1f} ps | "
+        f"{failing}/{len(result.endpoints)} endpoints failing"
+    )

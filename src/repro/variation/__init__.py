@@ -1,0 +1,6 @@
+"""Across-chip process variation: dose/defocus maps, LER, decomposition."""
+
+from repro.variation.maps import DoseDefocusMap, condition_at, uniform_map
+from repro.variation.ler import apply_ler
+
+__all__ = ["DoseDefocusMap", "condition_at", "uniform_map", "apply_ler"]

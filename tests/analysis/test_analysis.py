@@ -1,0 +1,99 @@
+"""Tests for rank correlation and report formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import compare_rankings, format_histogram, format_table, kendall_tau, spearman_rho
+from repro.timing.paths import PathStage, TimingPath
+
+
+def path(net, slack):
+    return TimingPath(
+        endpoint_net=net, endpoint_transition="rise", arrival=100.0 - slack,
+        slack=slack, stages=(PathStage("", net, "rise", 100.0 - slack, 0.0),),
+    )
+
+
+class TestRankCorrelation:
+    def test_identical_rankings(self):
+        assert kendall_tau([0, 1, 2], [0, 1, 2]) == 1.0
+        assert spearman_rho([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([0, 1, 2], [2, 1, 0]) == -1.0
+        assert spearman_rho([0, 1, 2, 3], [3, 2, 1, 0]) == -1.0
+
+    def test_single_swap(self):
+        tau = kendall_tau([0, 1, 2, 3], [1, 0, 2, 3])
+        assert tau == pytest.approx(1 - 2 * 1 / 6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([0], [0, 1])
+        with pytest.raises(ValueError):
+            spearman_rho([0], [0, 1])
+
+    @given(st.permutations(list(range(6))))
+    def test_tau_bounds(self, perm):
+        tau = kendall_tau(list(range(6)), list(perm))
+        assert -1.0 <= tau <= 1.0
+
+    @given(st.permutations(list(range(6))))
+    def test_rho_bounds(self, perm):
+        rho = spearman_rho(list(range(6)), list(perm))
+        assert -1.0 <= rho <= 1.0
+
+
+class TestCompareRankings:
+    def test_no_reorder(self):
+        before = [path("a", 1.0), path("b", 2.0)]
+        after = [path("a", 0.5), path("b", 1.5)]
+        cmp = compare_rankings(before, after)
+        assert cmp.tau == 1.0
+        assert cmp.moved == 0
+        assert not cmp.new_top
+
+    def test_top_path_swap(self):
+        before = [path("a", 1.0), path("b", 2.0)]
+        after = [path("b", 0.5), path("a", 1.5)]
+        cmp = compare_rankings(before, after)
+        assert cmp.new_top
+        assert cmp.moved == 2
+        assert cmp.tau < 1.0
+
+    def test_endpoint_entering_topk(self):
+        before = [path("a", 1.0), path("b", 2.0)]
+        after = [path("a", 1.0), path("c", 1.5)]
+        cmp = compare_rankings(before, after)
+        assert set(cmp.endpoints) == {"a", "b", "c"}
+        assert cmp.moved >= 1
+
+    def test_rows(self):
+        before = [path("a", 1.0), path("b", 2.0)]
+        after = [path("b", 0.5), path("a", 1.5)]
+        rows = compare_rankings(before, after).rows()
+        lookup = {net: (rb, ra, move) for net, rb, ra, move in rows}
+        assert lookup["a"] == (0, 1, -1)
+        assert lookup["b"] == (1, 0, 1)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["x", 1.5], ["longer", 22.25]],
+                             title="T1")
+        lines = table.splitlines()
+        assert lines[0] == "T1"
+        assert "value" in lines[1]
+        assert all("|" in line for line in lines[3:])
+        assert "22.25" in table
+
+    def test_histogram(self):
+        text = format_histogram([(-1.0, 2), (0.0, 10), (1.0, 0)])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].count("#") > lines[0].count("#")
+        assert lines[2].count("#") == 0
+
+    def test_empty_histogram(self):
+        assert "empty" in format_histogram([])

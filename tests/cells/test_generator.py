@@ -1,0 +1,116 @@
+"""Tests for generated cell layout: structure and DRC cleanliness."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.cells.generator import generate_cell_layout
+from repro.pdk import Layers, make_tech_90nm
+from repro.pdk.rules import run_drc
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+class TestGenerator:
+    def test_stripe_count_matches_pins(self, tech):
+        gen = generate_cell_layout("T", ["A", "B", "C"], 1, tech, input_pins=["A", "B", "C"])
+        assert len(gen.cell.polygons_on(Layers.POLY)) == 6  # 3 stripes + 3 pads
+        assert len(gen.transistors) == 6
+
+    def test_cell_width_follows_pitch(self, tech):
+        gen = generate_cell_layout("T", ["A", "B"], 1, tech)
+        assert gen.width == 3 * tech.rules.poly_pitch
+
+    def test_cell_height_is_row_height(self, tech):
+        gen = generate_cell_layout("T", ["A"], 1, tech)
+        assert gen.height == tech.rules.cell_height
+
+    def test_rejects_empty_stripes(self, tech):
+        with pytest.raises(ValueError):
+            generate_cell_layout("T", [], 1, tech)
+
+    def test_rejects_bad_drive(self, tech):
+        with pytest.raises(ValueError):
+            generate_cell_layout("T", ["A"], 0, tech)
+
+    def test_oversized_drive_rejected(self, tech):
+        with pytest.raises(ValueError):
+            generate_cell_layout("T", ["A"], 10, tech)
+
+    def test_pins_present(self, tech):
+        gen = generate_cell_layout("T", ["A", "B"], 1, tech, input_pins=["A", "B"])
+        assert set(gen.pins) == {"A", "B", "Z"}
+        assert gen.pins["A"].direction == "input"
+        assert gen.pins["Z"].direction == "output"
+
+    def test_clock_pin_direction(self, tech):
+        gen = generate_cell_layout(
+            "T", ["D", "CK"], 1, tech, input_pins=["D"], clock_pin="CK", output_pin="Q"
+        )
+        assert gen.pins["CK"].direction == "clock"
+
+    def test_gates_sit_on_active(self, tech):
+        gen = generate_cell_layout("T", ["A", "B"], 2, tech)
+        actives = gen.cell.polygons_on(Layers.ACTIVE)
+        for t in gen.transistors:
+            hosting = [a for a in actives if a.bbox.contains_rect(t.gate_rect)]
+            assert len(hosting) == 1
+
+    def test_poly_endcap_extends_past_active(self, tech):
+        gen = generate_cell_layout("T", ["A"], 1, tech)
+        stripe = max(gen.cell.polygons_on(Layers.POLY), key=lambda p: p.bbox.height)
+        actives = gen.cell.polygons_on(Layers.ACTIVE)
+        top = max(a.bbox.y1 for a in actives)
+        bottom = min(a.bbox.y0 for a in actives)
+        assert stripe.bbox.y1 - top >= tech.rules.poly_endcap - 1e-9
+        assert bottom - stripe.bbox.y0 >= tech.rules.poly_endcap - 1e-9
+
+
+class TestLibraryDrc:
+    @pytest.mark.parametrize("name", [
+        "INV_X1", "INV_X2", "BUF_X1", "NAND2_X1", "NAND3_X1", "NOR2_X1",
+        "NOR3_X2", "AOI21_X1", "OAI21_X2", "XOR2_X1", "XNOR2_X1", "DFF_X1",
+    ])
+    def test_cells_are_drc_clean(self, lib, tech, name):
+        cell = lib[name].layout
+        shapes = {layer: cell.polygons_on(layer) for layer in cell.layers()}
+        violations = run_drc(shapes, tech.rules)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+
+class TestLibrary:
+    def test_expected_cells_present(self, lib):
+        for base in ("INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3",
+                     "AOI21", "OAI21", "XOR2", "XNOR2", "DFF"):
+            assert f"{base}_X1" in lib
+            assert f"{base}_X2" in lib
+
+    def test_len_and_names(self, lib):
+        assert len(lib) == 22
+        assert lib.names() == sorted(lib.names())
+
+    def test_unknown_cell_message(self, lib):
+        with pytest.raises(KeyError, match="available"):
+            lib["MAGIC_X9"]
+
+    def test_duplicate_add_rejected(self, lib):
+        with pytest.raises(ValueError):
+            lib.add(lib["INV_X1"])
+
+    def test_combinational_excludes_dff(self, lib):
+        names = {c.name for c in lib.combinational()}
+        assert "DFF_X1" not in names
+        assert "INV_X1" in names
+
+    def test_dff_is_sequential_with_clock(self, lib):
+        dff = lib["DFF_X1"]
+        assert dff.is_sequential
+        assert dff.clock == "CK"
+        assert dff.output == "Q"

@@ -1,0 +1,62 @@
+"""Tests for SPICE subcircuit emission."""
+
+import re
+
+import pytest
+
+from repro.cells import build_library
+from repro.cells.spice import write_spice_library, write_spice_subckt
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+class TestSpiceSubckt:
+    def test_structure(self, lib):
+        deck = write_spice_subckt(lib["NAND2_X1"])
+        assert deck.startswith("* NAND2_X1")
+        assert ".subckt NAND2_X1 A B Z VDD VSS" in deck
+        assert deck.rstrip().endswith(".ends NAND2_X1")
+
+    def test_one_device_per_transistor(self, lib):
+        cell = lib["AOI21_X1"]
+        deck = write_spice_subckt(cell)
+        devices = [line for line in deck.splitlines() if line.startswith("M")]
+        assert len(devices) == len(cell.transistors)
+
+    def test_drawn_dimensions(self, lib):
+        deck = write_spice_subckt(lib["INV_X1"])
+        assert "W=400n L=90.0n" in deck   # NMOS
+        assert "W=600n L=90.0n" in deck   # PMOS
+
+    def test_length_overrides(self, lib):
+        deck = write_spice_subckt(lib["INV_X1"], {"MN0": 84.3})
+        assert "L=84.3n" in deck
+        assert "W=600n L=90.0n" in deck  # PMOS untouched
+
+    def test_mos_models_and_bulk(self, lib):
+        deck = write_spice_subckt(lib["INV_X1"])
+        nmos = next(l for l in deck.splitlines() if l.startswith("MMN0"))
+        pmos = next(l for l in deck.splitlines() if l.startswith("MMP0"))
+        assert "nch" in nmos and nmos.split()[3] == "VSS"
+        assert "pch" in pmos and pmos.split()[3] == "VDD"
+
+    def test_clock_pin_in_ports(self, lib):
+        deck = write_spice_subckt(lib["DFF_X1"])
+        assert ".subckt DFF_X1 D CK Q VDD VSS" in deck
+
+    def test_library_deck_contains_all_cells(self, lib):
+        deck = write_spice_library(lib)
+        for cell in lib:
+            assert f".subckt {cell.name} " in deck
+        # Every subckt is closed.
+        assert deck.count(".subckt") == deck.count(".ends")
+
+    def test_numeric_fields_parse(self, lib):
+        deck = write_spice_subckt(lib["XOR2_X1"])
+        for match in re.finditer(r"W=([\d.]+)n L=([\d.]+)n", deck):
+            assert float(match.group(1)) > 0
+            assert float(match.group(2)) > 0

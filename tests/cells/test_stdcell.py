@@ -1,0 +1,131 @@
+"""Tests for the standard-cell data model and electrical summaries."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.cells.stdcell import unate_inputs
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+class TestLogic:
+    def test_inverter(self, lib):
+        inv = lib["INV_X1"]
+        assert inv.evaluate({"A": False}) is True
+        assert inv.evaluate({"A": True}) is False
+
+    def test_nand2_truth_table(self, lib):
+        nand = lib["NAND2_X1"]
+        for a in (False, True):
+            for b in (False, True):
+                assert nand.evaluate({"A": a, "B": b}) == (not (a and b))
+
+    def test_aoi21(self, lib):
+        aoi = lib["AOI21_X1"]
+        assert aoi.evaluate({"A1": True, "A2": True, "B": False}) is False
+        assert aoi.evaluate({"A1": True, "A2": False, "B": False}) is True
+        assert aoi.evaluate({"A1": False, "A2": False, "B": True}) is False
+
+    def test_xor_xnor_complement(self, lib):
+        xor, xnor = lib["XOR2_X1"], lib["XNOR2_X1"]
+        for a in (False, True):
+            for b in (False, True):
+                values = {"A": a, "B": b}
+                assert xor.evaluate(values) != xnor.evaluate(values)
+
+    def test_missing_input_raises(self, lib):
+        with pytest.raises(KeyError):
+            lib["NAND2_X1"].evaluate({"A": True})
+
+    def test_unateness(self, lib):
+        assert unate_inputs(lib["INV_X1"]) == {"A": "negative"}
+        assert unate_inputs(lib["BUF_X1"]) == {"A": "positive"}
+        assert unate_inputs(lib["NAND2_X1"]) == {"A": "negative", "B": "negative"}
+        assert unate_inputs(lib["XOR2_X1"]) == {"A": "non-unate", "B": "non-unate"}
+
+
+class TestElectrical:
+    def test_inverter_strengths(self, lib):
+        inv = lib["INV_X1"]
+        # Wn=400, Wp=600 at L=90.
+        assert inv.network_strength("n") == pytest.approx(400 / 90)
+        assert inv.network_strength("p") == pytest.approx(600 / 90)
+
+    def test_nand2_series_pull_down_is_half(self, lib):
+        nand = lib["NAND2_X1"]
+        assert nand.network_strength("n") == pytest.approx(400 / 90 / 2)
+        assert nand.network_strength("p") == pytest.approx(600 / 90)
+
+    def test_nor3_series_pull_up_is_third(self, lib):
+        nor = lib["NOR3_X1"]
+        assert nor.network_strength("p") == pytest.approx(600 / 90 / 3)
+        assert nor.network_strength("n") == pytest.approx(400 / 90)
+
+    def test_aoi21_worst_branch(self, lib):
+        aoi = lib["AOI21_X1"]
+        # Pull-down worst case: the 2-stack A branch, not the single B device.
+        assert aoi.network_strength("n") == pytest.approx(400 / 90 / 2)
+
+    def test_drive_scaling(self, lib):
+        x1, x2 = lib["INV_X1"], lib["INV_X2"]
+        assert x2.network_strength("n") == pytest.approx(2 * x1.network_strength("n"))
+
+    def test_dimension_overrides_derate_strength(self, lib):
+        inv = lib["INV_X1"]
+        nominal = inv.network_strength("n")
+        shorter = inv.network_strength("n", {"MN0": (400.0, 80.0)})
+        longer = inv.network_strength("n", {"MN0": (400.0, 100.0)})
+        assert shorter > nominal > longer
+
+    def test_input_capacitance_positive_and_scales(self, lib):
+        cox = make_tech_90nm().device.cox_af_per_nm2
+        c1 = lib["INV_X1"].input_capacitance("A", cox)
+        c2 = lib["INV_X2"].input_capacitance("A", cox)
+        assert c1 > 0
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_buffer_input_cap_counts_first_stage_only(self, lib):
+        cox = make_tech_90nm().device.cox_af_per_nm2
+        buf, inv = lib["BUF_X1"], lib["INV_X1"]
+        assert buf.input_capacitance("A", cox) == pytest.approx(
+            inv.input_capacitance("A", cox)
+        )
+
+    def test_unknown_branch_reference_rejected(self, lib):
+        from repro.cells.stdcell import StandardCell
+
+        inv = lib["INV_X1"]
+        with pytest.raises(ValueError):
+            StandardCell(
+                name="BAD", kind="inv", inputs=["A"], output="Z",
+                function=lambda v: not v["A"], layout=inv.layout,
+                transistors=inv.transistors, pins=inv.pins,
+                pull_down_branches=[["MISSING"]], pull_up_branches=[["MP0"]],
+                width=inv.width, height=inv.height,
+            )
+
+
+class TestGeometryLinkage:
+    def test_gate_rects_exist_per_transistor(self, lib):
+        nand = lib["NAND2_X1"]
+        rects = nand.gate_rects()
+        assert set(rects) == {"MN0", "MN1", "MP0", "MP1"}
+
+    def test_gate_rect_dimensions_match_device(self, lib):
+        for cell in (lib["INV_X1"], lib["NAND3_X2"]):
+            for t in cell.transistors:
+                assert t.gate_rect.width == pytest.approx(t.length)
+                assert t.gate_rect.height == pytest.approx(t.width)
+
+    def test_nmos_below_pmos(self, lib):
+        inv = lib["INV_X1"]
+        mn, mp = inv.transistor("MN0"), inv.transistor("MP0")
+        assert mn.gate_rect.y1 < mp.gate_rect.y0
+
+    def test_area(self, lib):
+        inv = lib["INV_X1"]
+        assert inv.area == pytest.approx(inv.width * inv.height)

@@ -1,0 +1,102 @@
+"""Tests for the .bench parser and writer."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import C17_BENCH, parse_bench, write_bench
+from repro.circuits.netlist import NetlistError
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+class TestParse:
+    def test_c17(self, lib):
+        n = parse_bench(C17_BENCH, lib)
+        assert n.gate_count == 6
+        assert all(g.cell_name == "NAND2_X1" for g in n.gates.values())
+
+    def test_comments_and_blank_lines_ignored(self, lib):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(y)
+        y = NOT(a)  # trailing is not supported but inline strips fine
+        """
+        n = parse_bench(text, lib)
+        assert n.gate_count == 1
+
+    def test_and_expands_to_nand_inv(self, lib):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+        n = parse_bench(text, lib)
+        usage = n.cell_usage()
+        assert usage == {"NAND2_X1": 1, "INV_X1": 1}
+        assert n.simulate(lib, {"a": True, "b": True})["y"] is True
+        assert n.simulate(lib, {"a": True, "b": False})["y"] is False
+
+    def test_or_expands_to_nor_inv(self, lib):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n"
+        n = parse_bench(text, lib)
+        assert n.simulate(lib, {"a": False, "b": False})["y"] is False
+        assert n.simulate(lib, {"a": False, "b": True})["y"] is True
+
+    def test_wide_nand_tree(self, lib):
+        text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+                "OUTPUT(y)\ny = NAND(a, b, c, d, e)\n")
+        n = parse_bench(text, lib)
+        all_on = n.simulate(lib, {s: True for s in "abcde"})
+        assert all_on["y"] is False
+        one_off = n.simulate(lib, {"a": True, "b": True, "c": True, "d": True, "e": False})
+        assert one_off["y"] is True
+
+    def test_wide_xor_parity(self, lib):
+        text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n")
+        n = parse_bench(text, lib)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    values = n.simulate(lib, {"a": bool(a), "b": bool(b), "c": bool(c)})
+                    assert values["y"] == bool((a + b + c) % 2)
+
+    def test_numeric_nets_prefixed(self, lib):
+        n = parse_bench(C17_BENCH, lib)
+        assert "n22" in n.outputs
+
+    def test_unknown_function_rejected(self, lib):
+        with pytest.raises(NetlistError, match="unsupported"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n", lib)
+
+    def test_garbage_line_rejected(self, lib):
+        with pytest.raises(NetlistError, match="cannot parse"):
+            parse_bench("INPUT(a)\nwhat is this\n", lib)
+
+    def test_drive_selects_cells(self, lib):
+        n = parse_bench(C17_BENCH, lib, drive=2)
+        assert all(g.cell_name == "NAND2_X2" for g in n.gates.values())
+
+
+class TestWrite:
+    def test_roundtrip_c17(self, lib):
+        original = parse_bench(C17_BENCH, lib)
+        text = write_bench(original, lib)
+        again = parse_bench(text, lib)
+        assert again.gate_count == original.gate_count
+        vec = {n: (i % 2 == 0) for i, n in enumerate(original.inputs)}
+        for out in original.outputs:
+            assert original.simulate(lib, vec)[out] == again.simulate(lib, vec)[out]
+
+    def test_unsupported_kind_rejected(self, lib):
+        from repro.circuits import Netlist
+
+        n = Netlist("t")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_input("c")
+        n.add_gate("g", "AOI21_X1", {"A1": "a", "A2": "b", "B": "c", "Z": "y"})
+        n.add_output("y")
+        with pytest.raises(NetlistError, match="no .bench equivalent"):
+            write_bench(n, lib)

@@ -1,0 +1,142 @@
+"""Functional verification of the benchmark circuit generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import build_library
+from repro.circuits import (
+    array_multiplier,
+    c17,
+    carry_select_adder,
+    inverter_chain,
+    random_logic,
+    ripple_carry_adder,
+)
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+def adder_inputs(bits, a, b, cin):
+    values = {"cin": bool(cin)}
+    for i in range(bits):
+        values[f"a{i}"] = bool((a >> i) & 1)
+        values[f"b{i}"] = bool((b >> i) & 1)
+    return values
+
+
+def adder_result(values, bits):
+    total = sum(int(values[f"s{i}"]) << i for i in range(bits))
+    return total + (int(values["cout"]) << bits)
+
+
+class TestInverterChain:
+    def test_parity(self, lib):
+        for length in (1, 2, 5):
+            chain = inverter_chain(length)
+            chain.validate(lib)
+            out = chain.simulate(lib, {"in0": True})["out"]
+            assert out == (length % 2 == 0)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_valid(self, lib, bits):
+        ripple_carry_adder(bits).validate(lib)
+
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (1, 1, 0), (3, 1, 1), (7, 7, 1), (15, 1, 0)])
+    def test_exhaustive_cases_4bit(self, lib, a, b, cin):
+        rca = ripple_carry_adder(4)
+        values = rca.simulate(lib, adder_inputs(4, a, b, cin))
+        assert adder_result(values, 4) == a + b + cin
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_random_8bit(self, lib, a, b, cin):
+        rca = ripple_carry_adder(8)
+        values = rca.simulate(lib, adder_inputs(8, a, b, cin))
+        assert adder_result(values, 8) == a + b + cin
+
+
+class TestCarrySelectAdder:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_matches_integer_addition(self, lib, a, b, cin):
+        csa = carry_select_adder(8, block=3)
+        csa.validate(lib)
+        values = csa.simulate(lib, adder_inputs(8, a, b, cin))
+        assert adder_result(values, 8) == a + b + cin
+
+    def test_shallower_than_ripple(self, lib):
+        rca = ripple_carry_adder(16)
+        csa = carry_select_adder(16, block=4)
+        assert csa.logic_depth(lib) < rca.logic_depth(lib)
+
+
+class TestArrayMultiplier:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_4x4_matches_integer_multiplication(self, lib, a, b):
+        mult = array_multiplier(4)
+        mult.validate(lib)
+        values = {}
+        for i in range(4):
+            values[f"a{i}"] = bool((a >> i) & 1)
+            values[f"b{i}"] = bool((b >> i) & 1)
+        result = mult.simulate(lib, values)
+        product = sum(int(result[f"p{k}"]) << k for k in range(8))
+        assert product == a * b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)
+
+
+class TestRandomLogic:
+    def test_deterministic_per_seed(self, lib):
+        n1 = random_logic(50, seed=7)
+        n2 = random_logic(50, seed=7)
+        assert [g.cell_name for g in n1.gates.values()] == [
+            g.cell_name for g in n2.gates.values()
+        ]
+
+    def test_different_seeds_differ(self, lib):
+        n1 = random_logic(50, seed=1)
+        n2 = random_logic(50, seed=2)
+        assert [g.cell_name for g in n1.gates.values()] != [
+            g.cell_name for g in n2.gates.values()
+        ]
+
+    def test_valid_and_simulable(self, lib):
+        n = random_logic(100, n_inputs=10, seed=3)
+        n.validate(lib)
+        values = n.simulate(lib, {f"in{i}": i % 2 == 0 for i in range(10)})
+        assert all(isinstance(v, bool) for v in values.values())
+
+    def test_has_outputs(self, lib):
+        assert random_logic(30, seed=5).outputs
+
+
+class TestC17:
+    def test_structure(self, lib):
+        netlist = c17(lib)
+        assert netlist.gate_count == 6
+        assert set(netlist.inputs) == {"n1", "n2", "n3", "n6", "n7"}
+        assert set(netlist.outputs) == {"n22", "n23"}
+
+    def test_known_vector(self, lib):
+        netlist = c17(lib)
+        # All-ones input: trace the NAND network by hand.
+        values = netlist.simulate(lib, {n: True for n in netlist.inputs})
+        # 10=NAND(1,3)=0; 11=NAND(3,6)=0; 16=NAND(2,11)=1; 19=NAND(11,7)=1
+        # 22=NAND(10,16)=1; 23=NAND(16,19)=0
+        assert values["n22"] is True
+        assert values["n23"] is False

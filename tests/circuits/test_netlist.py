@@ -1,0 +1,136 @@
+"""Tests for the netlist model: structure, validation, simulation."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import Netlist
+from repro.circuits.netlist import NetlistError
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+def tiny_netlist():
+    n = Netlist("tiny")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("g1", "NAND2_X1", {"A": "a", "B": "b", "Z": "w1"})
+    n.add_gate("g2", "INV_X1", {"A": "w1", "Z": "y"})
+    n.add_output("y")
+    return n
+
+
+class TestStructure:
+    def test_duplicate_input_rejected(self):
+        n = Netlist("t")
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_input("a")
+
+    def test_duplicate_gate_rejected(self):
+        n = tiny_netlist()
+        with pytest.raises(NetlistError):
+            n.add_gate("g1", "INV_X1", {"A": "a", "Z": "zz"})
+
+    def test_driver_and_loads(self, lib):
+        n = tiny_netlist()
+        assert n.driver_of("w1", lib).name == "g1"
+        assert n.driver_of("a", lib) is None
+        assert [g.name for g in n.loads_of("w1", lib)] == ["g2"]
+        assert [g.name for g in n.loads_of("a", lib)] == ["g1"]
+
+    def test_fanout_counts_primary_outputs(self, lib):
+        n = tiny_netlist()
+        assert n.fanout_count("y", lib) == 1  # PO only
+        assert n.fanout_count("w1", lib) == 1
+
+    def test_nets(self, lib):
+        n = tiny_netlist()
+        assert n.nets(lib) == {"a", "b", "w1", "y"}
+
+    def test_cell_usage(self):
+        n = tiny_netlist()
+        assert n.cell_usage() == {"NAND2_X1": 1, "INV_X1": 1}
+
+
+class TestValidate:
+    def test_clean_netlist_passes(self, lib):
+        tiny_netlist().validate(lib)
+
+    def test_multiple_drivers_rejected(self, lib):
+        n = tiny_netlist()
+        n.add_gate("g3", "INV_X1", {"A": "a", "Z": "w1"})
+        with pytest.raises(NetlistError, match="driven by both"):
+            n.validate(lib)
+
+    def test_dangling_input_rejected(self, lib):
+        n = tiny_netlist()
+        n.add_gate("g3", "INV_X1", {"A": "ghost", "Z": "w3"})
+        with pytest.raises(NetlistError, match="no driver"):
+            n.validate(lib)
+
+    def test_wrong_pins_rejected(self, lib):
+        n = Netlist("t")
+        n.add_input("a")
+        n.add_gate("g1", "NAND2_X1", {"A": "a", "Z": "y"})  # missing B
+        with pytest.raises(NetlistError, match="pins"):
+            n.validate(lib)
+
+    def test_undriven_output_rejected(self, lib):
+        n = tiny_netlist()
+        n.add_output("floating")
+        with pytest.raises(NetlistError, match="no driver"):
+            n.validate(lib)
+
+
+class TestOrderAndSim:
+    def test_topological_order_respects_dependencies(self, lib):
+        n = tiny_netlist()
+        order = [g.name for g in n.topological_gates(lib)]
+        assert order.index("g1") < order.index("g2")
+
+    def test_cycle_detected(self, lib):
+        n = Netlist("loop")
+        n.add_input("a")
+        n.add_gate("g1", "NAND2_X1", {"A": "a", "B": "w2", "Z": "w1"})
+        n.add_gate("g2", "INV_X1", {"A": "w1", "Z": "w2"})
+        with pytest.raises(NetlistError, match="cycle"):
+            n.topological_gates(lib)
+
+    def test_dff_breaks_cycle(self, lib):
+        n = Netlist("seq")
+        n.add_input("clk_unused")
+        n.add_gate("ff", "DFF_X1", {"D": "w2", "CK": "clk_unused", "Q": "q"})
+        n.add_gate("g1", "INV_X1", {"A": "q", "Z": "w2"})
+        n.add_output("q")
+        order = [g.name for g in n.topological_gates(lib)]
+        assert set(order) == {"ff", "g1"}
+
+    def test_simulation_truth(self, lib):
+        n = tiny_netlist()
+        for a in (False, True):
+            for b in (False, True):
+                values = n.simulate(lib, {"a": a, "b": b})
+                assert values["y"] == (a and b)
+
+    def test_simulation_with_register_value(self, lib):
+        n = Netlist("seq")
+        n.add_input("clk")
+        n.add_gate("ff", "DFF_X1", {"D": "w", "CK": "clk", "Q": "q"})
+        n.add_gate("g1", "INV_X1", {"A": "q", "Z": "w"})
+        n.add_output("w")
+        low = n.simulate(lib, {"clk": False})
+        assert low["w"] is True  # Q defaults to 0
+        high = n.simulate(lib, {"clk": False}, register_values={"ff": True})
+        assert high["w"] is False
+
+    def test_simulation_missing_input_raises(self, lib):
+        with pytest.raises(KeyError):
+            tiny_netlist().simulate(lib, {"a": True})
+
+    def test_logic_depth(self, lib):
+        n = tiny_netlist()
+        assert n.logic_depth(lib) == 2

@@ -1,0 +1,91 @@
+"""Tests for the mixed sequential testchip generator."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import testchip as build_testchip
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+@pytest.fixture(scope="module")
+def chip(lib):
+    chip = build_testchip(bits=3, random_gates=20)
+    chip.validate(lib)
+    return chip
+
+
+class TestTestchip:
+    def test_validates_and_sized(self, chip):
+        # Adder + multiplier + random logic + registers + buffers.
+        assert chip.gate_count > 80
+
+    def test_all_islands_present(self, chip):
+        prefixes = {name.split("_")[0] for name in chip.gates}
+        assert {"add", "mul", "rnd", "ff"} <= prefixes
+
+    def test_registers_bound_the_islands(self, chip, lib):
+        dffs = [g for g in chip.gates.values() if g.cell_name.startswith("DFF")]
+        # 6 input registers (3 bits x 2 buses) + one capture per island output.
+        assert len(dffs) == 6 + len(chip.outputs)
+        assert all(g.connections["CK"] == "ck" for g in dffs)
+
+    def test_simulable(self, chip, lib):
+        values = {"ck": False}
+        for i in range(3):
+            values[f"a{i}"] = True
+            values[f"b{i}"] = i % 2 == 0
+        result = chip.simulate(lib, values)
+        assert all(isinstance(v, bool) for v in result.values())
+
+    def test_register_to_register_paths_exist(self, chip, lib):
+        from repro.device import AlphaPowerModel
+        from repro.timing import StaEngine, TimingConstraints, characterize_library
+
+        tech = make_tech_90nm()
+        liberty = characterize_library(lib, AlphaPowerModel(tech.device))
+        engine = StaEngine(chip, lib, liberty)
+        result = engine.run(TimingConstraints(clock_period_ps=900))
+        # EVERY capture-register D pin must be a timed endpoint: register
+        # launches must be ordered before their combinational fanout.
+        nets = {e.net for e in result.endpoints}
+        for gate in chip.gates.values():
+            if gate.cell_name.startswith("DFF") and gate.name.startswith("ff_out"):
+                assert gate.connections["D"] in nets, gate.name
+        assert result.critical_delay > 100  # launches at clk-to-Q, real logic
+
+    def test_hold_endpoints_present(self, chip, lib):
+        from repro.device import AlphaPowerModel
+        from repro.timing import StaEngine, characterize_library, run_hold
+
+        tech = make_tech_90nm()
+        liberty = characterize_library(lib, AlphaPowerModel(tech.device))
+        hold = run_hold(StaEngine(chip, lib, liberty))
+        assert hold.endpoints
+        assert hold.worst_hold_slack != float("inf")
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            build_testchip(bits=1)
+
+
+class TestFlowReportMarkdown:
+    def test_renders_complete_document(self, lib):
+        from repro.analysis import flow_report_markdown
+        from repro.circuits import inverter_chain
+        from repro.flow import FlowConfig, PostOpcTimingFlow
+
+        tech = make_tech_90nm()
+        flow = PostOpcTimingFlow(inverter_chain(2), tech, cells=lib)
+        report = flow.run(FlowConfig(opc_mode="none", clock_period_ps=400))
+        text = flow_report_markdown(report)
+        assert text.startswith("# Post-OPC timing report")
+        assert "Worst-case slack" in text
+        assert "Speed-path ranking" in text
+        assert "Static power" in text
+        assert "stage runtimes" in text
+        assert f"{report.cd_stats.count} transistors measured" in text

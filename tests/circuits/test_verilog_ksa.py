@@ -1,0 +1,108 @@
+"""Tests for Verilog interchange and the Kogge-Stone generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import build_library
+from repro.circuits import (
+    c17,
+    kogge_stone_adder,
+    parse_verilog,
+    ripple_carry_adder,
+    write_verilog,
+)
+from repro.circuits.netlist import NetlistError
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+class TestKoggeStone:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_8bit_addition(self, lib, a, b):
+        ksa = kogge_stone_adder(8)
+        values = {}
+        for i in range(8):
+            values[f"a{i}"] = bool((a >> i) & 1)
+            values[f"b{i}"] = bool((b >> i) & 1)
+        out = ksa.simulate(lib, values)
+        got = sum(int(out[f"s{i}"]) << i for i in range(8)) + (int(out["cout"]) << 8)
+        assert got == a + b
+
+    def test_validates(self, lib):
+        kogge_stone_adder(8).validate(lib)
+
+    def test_logarithmic_depth(self, lib):
+        ksa = kogge_stone_adder(8)
+        rca = ripple_carry_adder(8)
+        assert ksa.logic_depth(lib) < rca.logic_depth(lib) / 1.5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            kogge_stone_adder(1)
+
+
+class TestVerilogRoundTrip:
+    def test_c17_roundtrip(self, lib):
+        original = c17(lib)
+        text = write_verilog(original, lib)
+        again = parse_verilog(text, lib)
+        assert again.gate_count == original.gate_count
+        assert set(again.inputs) == set(original.inputs)
+        vec = {n: (i % 2 == 0) for i, n in enumerate(original.inputs)}
+        for out in original.outputs:
+            assert again.simulate(lib, vec)[out] == original.simulate(lib, vec)[out]
+
+    def test_adder_roundtrip_functional(self, lib):
+        original = ripple_carry_adder(3)
+        again = parse_verilog(write_verilog(original, lib), lib)
+        values = {"cin": True}
+        for i in range(3):
+            values[f"a{i}"] = True
+            values[f"b{i}"] = i == 1
+        assert original.simulate(lib, values) == again.simulate(lib, values)
+
+    def test_output_contains_structure(self, lib):
+        text = write_verilog(c17(lib), lib)
+        assert text.startswith("module c17 (")
+        assert "input n1, n2, n3, n6, n7;" in text
+        assert "endmodule" in text
+        assert "NAND2_X1 g_n10 (.A(n1), .B(n3), .Z(n10));" in text
+
+    def test_comments_stripped(self, lib):
+        text = write_verilog(c17(lib), lib)
+        commented = "// header comment\n" + text.replace(
+            "endmodule", "/* block\ncomment */\nendmodule"
+        )
+        assert parse_verilog(commented, lib).gate_count == 6
+
+    def test_missing_module_rejected(self, lib):
+        with pytest.raises(NetlistError, match="module"):
+            parse_verilog("wire w;\n", lib)
+
+    def test_missing_endmodule_rejected(self, lib):
+        with pytest.raises(NetlistError, match="endmodule"):
+            parse_verilog("module m (a);\ninput a;\n", lib)
+
+    def test_unknown_cell_rejected(self, lib):
+        text = ("module m (a, y);\ninput a;\noutput y;\n"
+                "MAGIC_X1 g1 (.A(a), .Z(y));\nendmodule\n")
+        with pytest.raises(NetlistError, match="unknown cell"):
+            parse_verilog(text, lib)
+
+    def test_positional_ports_rejected(self, lib):
+        text = ("module m (a, y);\ninput a;\noutput y;\n"
+                "INV_X1 g1 (a, y);\nendmodule\n")
+        with pytest.raises(NetlistError, match="positional"):
+            parse_verilog(text, lib)
+
+    def test_numeric_leading_name_sanitised(self, lib):
+        netlist = ripple_carry_adder(2, name="2wide")
+        text = write_verilog(netlist, lib)
+        assert text.startswith("module m_2wide2 (") or "module" in text
+        parse_verilog(text, lib)

@@ -1,0 +1,156 @@
+"""Tests for the MOSFET model and non-rectangular-gate extraction."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.device import (
+    AlphaPowerModel,
+    equivalent_length_drive,
+    equivalent_length_leakage,
+    extract_equivalent_lengths,
+)
+from repro.geometry import Rect
+from repro.metrology.gate_cd import GateCdMeasurement
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AlphaPowerModel(make_tech_90nm().device)
+
+
+class TestThreshold:
+    def test_nominal_below_long_channel(self, model):
+        p = model.params
+        assert model.threshold_voltage(p.l_nominal) < p.vth0
+        assert model.threshold_voltage(10 * p.l_nominal) == pytest.approx(p.vth0, abs=1e-4)
+
+    def test_rolloff_monotone_in_length(self, model):
+        vths = [model.threshold_voltage(L) for L in (50, 70, 90, 120, 200)]
+        assert vths == sorted(vths)
+
+    def test_rejects_bad_length(self, model):
+        with pytest.raises(ValueError):
+            model.threshold_voltage(0)
+
+
+class TestDrive:
+    def test_scales_with_width(self, model):
+        assert model.drive_current(800, 90) == pytest.approx(
+            2 * model.drive_current(400, 90)
+        )
+
+    def test_increases_as_length_shrinks(self, model):
+        assert model.drive_current(400, 80) > model.drive_current(400, 90)
+
+    def test_sensitivity_near_one_percent_per_nm(self, model):
+        s = model.delay_sensitivity(90.0)
+        assert 0.008 < s < 0.020  # ~1-2 %/nm, the 90 nm-era figure
+
+    def test_rejects_bad_dimensions(self, model):
+        with pytest.raises(ValueError):
+            model.drive_current(0, 90)
+        with pytest.raises(ValueError):
+            model.leakage_current(400, -1)
+
+    def test_effective_resistance_decreases_with_width(self, model):
+        assert model.effective_resistance(800, 90) < model.effective_resistance(400, 90)
+
+    def test_gate_capacitance(self, model):
+        c = model.gate_capacitance(400, 90)
+        assert c == pytest.approx(400 * 90 * model.params.cox_af_per_nm2 / 1000.0)
+
+
+class TestLeakage:
+    def test_explodes_at_short_length(self, model):
+        ratio = model.leakage_current(400, 70) / model.leakage_current(400, 90)
+        assert ratio > 1.5
+
+    def test_ratio_per_nm_in_era_range(self, model):
+        r = model.leakage_ratio_per_nm(90.0)
+        assert 1.02 < r < 1.15
+
+    def test_leakage_more_sensitive_than_drive(self, model):
+        drive_ratio = model.drive_current(400, 80) / model.drive_current(400, 90)
+        leak_ratio = model.leakage_current(400, 80) / model.leakage_current(400, 90)
+        assert leak_ratio > drive_ratio
+
+    @given(st.floats(50, 200))
+    def test_always_positive(self, model, length):
+        assert model.leakage_current(400, length) > 0
+        assert model.drive_current(400, length) > 0
+
+
+class TestEquivalentLength:
+    def test_uniform_gate_recovers_slice_cd(self, model):
+        cds = [88.0] * 5
+        widths = [80.0] * 5
+        assert equivalent_length_drive(cds, widths, model) == pytest.approx(88.0, abs=0.01)
+        assert equivalent_length_leakage(cds, widths, model) == pytest.approx(88.0, abs=0.01)
+
+    def test_leakage_el_below_drive_el_for_necked_gate(self, model):
+        # One narrow slice: dominates leakage, mild for drive.
+        cds = [90, 90, 70, 90, 90]
+        widths = [80.0] * 5
+        el_drive = equivalent_length_drive(cds, widths, model)
+        el_leak = equivalent_length_leakage(cds, widths, model)
+        assert el_leak < el_drive < 90
+        # Leakage EL is pulled hard toward the narrow slice.
+        assert el_leak < 86
+
+    def test_el_bounded_by_extreme_slices(self, model):
+        cds = [80, 85, 90, 95, 100]
+        widths = [80.0] * 5
+        for el in (equivalent_length_drive(cds, widths, model),
+                   equivalent_length_leakage(cds, widths, model)):
+            assert 80 <= el <= 100
+
+    def test_open_slices_excluded_from_current(self, model):
+        cds = [90, 0, 90]
+        widths = [100.0] * 3
+        el = equivalent_length_drive(cds, widths, model)
+        # Two thirds of the width conducting at 90 -> equivalent is longer.
+        assert el > 90
+
+    def test_validation_errors(self, model):
+        with pytest.raises(ValueError):
+            equivalent_length_drive([90], [80, 80], model)
+        with pytest.raises(ValueError):
+            equivalent_length_drive([], [], model)
+        with pytest.raises(ValueError):
+            equivalent_length_leakage([0, 0], [80, 80], model)
+
+    @given(st.lists(st.floats(70, 120), min_size=2, max_size=8))
+    def test_el_within_slice_range(self, model, cds):
+        widths = [60.0] * len(cds)
+        el = equivalent_length_drive(cds, widths, model)
+        assert min(cds) - 0.01 <= el <= max(cds) + 0.01
+
+
+class TestExtractFromMeasurement:
+    def make_measurement(self, cds):
+        m = GateCdMeasurement(gate_rect=Rect(0, 0, 90, 400), drawn_cd=90)
+        m.slice_positions = list(range(len(cds)))
+        m.slice_cds = list(cds)
+        return m
+
+    def test_healthy_gate(self, model):
+        result = extract_equivalent_lengths(self.make_measurement([88, 87, 86, 87, 88]), model)
+        assert not result.failed
+        assert result.length_drive == pytest.approx(87, abs=1)
+        assert result.drive_delta < 0
+        assert result.length_leakage <= result.length_drive
+
+    def test_failed_gate_flagged(self, model):
+        result = extract_equivalent_lengths(self.make_measurement([90, 0, 90]), model)
+        assert result.failed
+        assert result.length_drive == 90  # falls back to drawn
+
+    def test_width_override(self, model):
+        result = extract_equivalent_lengths(
+            self.make_measurement([90, 90]), model, width=640.0
+        )
+        assert result.width == 640.0

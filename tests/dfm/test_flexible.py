@@ -1,0 +1,59 @@
+"""Tests for flexible design rules (image-parameter classification)."""
+
+import pytest
+
+from repro.dfm import FdrLimits, explore_pitch_rules
+from repro.dfm.flexible import classify
+from repro.litho import LithographySimulator
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def sim():
+    tech = make_tech_90nm()
+    simulator = LithographySimulator.for_tech(tech)
+    simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return simulator
+
+
+class TestClassify:
+    def test_unprinted_is_flagged(self):
+        assert classify(90, 320, 0.0, 2.0, 1.0, FdrLimits()) == "flagged"
+
+    def test_good_parameters_preferred(self):
+        assert classify(90, 320, 90.0, 2.0, 1.5, FdrLimits()) == "preferred"
+
+    def test_marginal_parameters_allowed(self):
+        limits = FdrLimits()
+        verdict = classify(90, 640, 78.0, 0.7, 3.0, limits)
+        assert verdict == "allowed"
+
+    def test_poor_nils_flagged(self):
+        assert classify(90, 500, 88.0, 0.2, 1.5, FdrLimits()) == "flagged"
+
+    def test_huge_cd_error_flagged(self):
+        assert classify(90, 500, 60.0, 2.0, 1.5, FdrLimits()) == "flagged"
+
+
+class TestExplorePitchRules:
+    @pytest.fixture(scope="class")
+    def verdicts(self, sim):
+        return explore_pitch_rules(sim, 90.0, [320, 480, 960])
+
+    def test_one_verdict_per_pitch(self, verdicts):
+        assert [v.pitch for v in verdicts] == [320, 480, 960]
+
+    def test_anchor_pitch_not_flagged(self, verdicts):
+        anchor = verdicts[0]
+        assert anchor.classification in ("preferred", "allowed")
+        assert abs(anchor.cd_error) < 2.0
+
+    def test_parameters_populated(self, verdicts):
+        for v in verdicts:
+            assert v.nils > 0
+            assert v.meef > 0
+            assert v.printed_cd > 0
+
+    def test_uncorrected_mid_pitch_worse_than_anchor(self, verdicts):
+        # Without OPC the 480 pitch prints ~15 nm thin: worse CD fidelity.
+        assert abs(verdicts[1].cd_error) > abs(verdicts[0].cd_error)

@@ -1,0 +1,118 @@
+"""Tests for pattern-based hotspot classification."""
+
+import numpy as np
+import pytest
+
+from repro.dfm import HotspotLibrary, cluster_snippets, extract_snippets
+from repro.dfm.hotspots import Snippet
+from repro.geometry import Point, Polygon, Rect
+from repro.opc.orc import OrcViolation
+
+
+def line_pair(x0, gap):
+    """Two vertical lines with the given gap, around x0."""
+    return [
+        Polygon.from_rect(Rect(x0 - 90 - gap / 2, -500, x0 - gap / 2, 500)),
+        Polygon.from_rect(Rect(x0 + gap / 2, -500, x0 + gap / 2 + 90, 500)),
+    ]
+
+
+def violation(x, y, kind="pinch"):
+    return OrcViolation(kind, Point(x, y), 40.0, 54.0)
+
+
+class TestSnippets:
+    def test_bitmap_shape_and_content(self):
+        polys = line_pair(0, 140)
+        (snippet,) = extract_snippets(polys, [violation(0, 0)], radius=400, grid=16)
+        assert snippet.bitmap.shape == (16, 16)
+        assert snippet.bitmap.any()
+        assert not snippet.bitmap.all()
+
+    def test_translation_invariance(self):
+        a = extract_snippets(line_pair(0, 140), [violation(0, 0)])[0]
+        b = extract_snippets(line_pair(5000, 140), [violation(5000, 0)])[0]
+        assert a.similarity(b) == 1.0
+
+    def test_different_configurations_differ(self):
+        a = extract_snippets(line_pair(0, 140), [violation(0, 0)])[0]
+        b = extract_snippets(line_pair(0, 600), [violation(0, 0)])[0]
+        assert a.similarity(b) < 0.9
+
+    def test_similarity_bounds(self):
+        a = Snippet(Point(0, 0), "pinch", np.zeros((8, 8), dtype=bool))
+        b = Snippet(Point(0, 0), "pinch", np.ones((8, 8), dtype=bool))
+        assert a.similarity(a) == 1.0  # empty vs empty
+        assert a.similarity(b) == 0.0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            extract_snippets([], [], radius=0)
+        with pytest.raises(ValueError):
+            extract_snippets([], [], grid=1)
+
+
+class TestClustering:
+    def make_population(self):
+        polys = []
+        violations = []
+        # Five instances of configuration A (tight pair)...
+        for k in range(5):
+            x = k * 3000
+            polys.extend(line_pair(x, 140))
+            violations.append(violation(x, 0))
+        # ...and two of configuration B (wide pair).
+        for k in range(2):
+            x = 20000 + k * 3000
+            polys.extend(line_pair(x, 600))
+            violations.append(violation(x, 0, kind="bridge"))
+        return polys, violations
+
+    def test_two_classes_found(self):
+        polys, violations = self.make_population()
+        snippets = extract_snippets(polys, violations)
+        classes = cluster_snippets(snippets)
+        assert len(classes) == 2
+        assert classes[0].count == 5  # sorted by frequency
+        assert classes[1].count == 2
+
+    def test_kind_histogram(self):
+        polys, violations = self.make_population()
+        classes = cluster_snippets(extract_snippets(polys, violations))
+        assert classes[0].kinds == {"pinch": 5}
+        assert classes[1].kinds == {"bridge": 2}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cluster_snippets([], similarity_threshold=0.0)
+
+    def test_near_duplicate_configurations_merge(self):
+        # Gap 140 vs gap 160: sub-pixel difference on the coarse signature
+        # grid, so the two sites classify together.
+        polys = line_pair(0, 140) + line_pair(5000, 160)
+        violations = [violation(0, 0), violation(5000, 0)]
+        classes = cluster_snippets(extract_snippets(polys, violations),
+                                   similarity_threshold=0.5)
+        assert len(classes) == 1
+        assert classes[0].count == 2
+
+
+class TestLibraryMatch:
+    def test_matches_known_pattern_in_new_layout(self):
+        train_polys = line_pair(0, 140)
+        library = HotspotLibrary.from_orc(train_polys, [violation(0, 0)])
+        # New layout: the same configuration at a new location plus a
+        # benign isolated line.
+        new_polys = line_pair(9000, 140) + [
+            Polygon.from_rect(Rect(30000, -500, 30090, 500))
+        ]
+        hits = library.match(new_polys, [Point(9000, 0), Point(30045, 0)])
+        assert [(round(p.x), cls) for p, cls in hits] == [(9000, 0)]
+
+    def test_empty_site_skipped(self):
+        library = HotspotLibrary.from_orc(line_pair(0, 140), [violation(0, 0)])
+        assert library.match([], [Point(0, 0)]) == []
+
+    def test_len(self):
+        library = HotspotLibrary.from_orc(line_pair(0, 140), [violation(0, 0)])
+        assert len(library) == 1

@@ -1,0 +1,86 @@
+"""Tests for the process-window yield model."""
+
+import pytest
+
+from repro.dfm import ExposureDistribution, process_window_yield
+from repro.geometry import Polygon, Rect
+from repro.litho import LithographySimulator
+from repro.opc import apply_model_opc
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def sim():
+    tech = make_tech_90nm()
+    simulator = LithographySimulator.for_tech(tech)
+    simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def dense_lines():
+    return [Polygon.from_rect(Rect(i * 320 - 45, -600, i * 320 + 45, 600))
+            for i in range(-1, 2)]
+
+
+@pytest.fixture(scope="module")
+def dense_mask(sim, dense_lines):
+    """Model-OPC-corrected mask: without correction the line-end pullback
+    already fails ORC at nominal (a real result, not a test artifact)."""
+    return apply_model_opc(sim, dense_lines).polygons
+
+
+class TestExposureDistribution:
+    def test_nominal_has_peak_weight(self):
+        from repro.litho.resist import ProcessCondition
+
+        dist = ExposureDistribution()
+        nominal = dist.weight(ProcessCondition())
+        off = dist.weight(ProcessCondition(dose=1.03, defocus_nm=120))
+        assert nominal == pytest.approx(1.0)
+        assert off < nominal
+
+
+class TestProcessWindowYield:
+    def test_anchor_pattern_survives_nominal(self, sim, dense_lines, dense_mask):
+        result = process_window_yield(
+            sim, dense_mask, dense_lines,
+            doses=(1.0,), defoci=(0.0,),
+        )
+        assert result.outcomes[(1.0, 0.0)] is True
+        assert result.weighted_yield == 1.0
+
+    def test_extreme_conditions_kill_yield(self, sim, dense_lines, dense_mask):
+        result = process_window_yield(
+            sim, dense_mask, dense_lines,
+            doses=(1.0, 1.5), defoci=(0.0, 500.0),
+        )
+        assert result.outcomes[(1.0, 0.0)] is True
+        assert result.outcomes[(1.5, 500.0)] is False
+        assert 0.0 < result.weighted_yield < 1.0
+        assert result.window_fraction < 1.0
+
+    def test_weighting_discounts_rare_conditions(self, sim, dense_lines, dense_mask):
+        # The failing corner is far out in the scanner distribution, so the
+        # weighted yield is much better than the raw window fraction.
+        result = process_window_yield(
+            sim, dense_mask, dense_lines,
+            doses=(1.0, 1.5), defoci=(0.0, 500.0),
+            distribution=ExposureDistribution(dose_sigma=0.015, defocus_sigma_nm=60),
+        )
+        assert result.weighted_yield > result.window_fraction
+
+    def test_opc_improves_window(self, sim):
+        iso = [Polygon.from_rect(Rect(-45, -600, 45, 600))]
+        corrected = apply_model_opc(sim, iso).polygons
+        doses = (0.97, 1.0, 1.03)
+        defoci = (0.0, 200.0)
+        raw = process_window_yield(sim, iso, iso, doses, defoci)
+        fixed = process_window_yield(sim, corrected, iso, doses, defoci)
+        assert fixed.window_fraction >= raw.window_fraction
+
+    def test_passing_conditions_listing(self, sim, dense_lines, dense_mask):
+        result = process_window_yield(
+            sim, dense_mask, dense_lines, doses=(1.0,), defoci=(0.0, 500.0),
+        )
+        assert (1.0, 0.0) in result.passing_conditions

@@ -1,0 +1,50 @@
+"""Tests for GDS export of flow artifacts."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import inverter_chain
+from repro.flow import FlowConfig, PostOpcTimingFlow, export_flow_gds
+from repro.gds import read_gds
+from repro.pdk import Layers, make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def flow():
+    tech = make_tech_90nm()
+    return PostOpcTimingFlow(inverter_chain(2), tech, cells=build_library(tech))
+
+
+@pytest.fixture(scope="module")
+def report(flow):
+    return flow.run(FlowConfig(opc_mode="rule", clock_period_ps=400))
+
+
+class TestExport:
+    def test_layers_written_and_readable(self, flow, report, tmp_path):
+        path = str(tmp_path / "flow.gds")
+        export_flow_gds(flow, report, path)
+        back = read_gds(path)
+        cell = back["FLOW"]
+        assert len(cell.polygons_on(Layers.POLY)) == len(flow.owned_polygons)
+        assert len(cell.polygons_on(Layers.POLY_OPC)) == len(report.mask_polygons)
+
+    def test_geometry_faithful_at_subnm_grid(self, flow, report, tmp_path):
+        path = str(tmp_path / "flow.gds")
+        export_flow_gds(flow, report, path)
+        back = read_gds(path)
+        assert back.unit_nm == pytest.approx(0.1, rel=1e-9)
+        original = sorted(round(p.bbox.x0, 1) for _, p in flow.owned_polygons)
+        recovered = sorted(round(p.bbox.x0, 1)
+                           for p in back["FLOW"].polygons_on(Layers.POLY))
+        assert original == recovered
+
+    def test_contours_on_request(self, flow, report, tmp_path):
+        path = str(tmp_path / "contours.gds")
+        region = next(iter(flow.gate_rects.values())).expanded(200)
+        export_flow_gds(flow, report, path, contour_region=region)
+        back = read_gds(path)
+        contours = back["FLOW"].polygons_on(Layers.POLY_PRINTED)
+        assert contours
+        # Printed contours are smooth, not rectilinear.
+        assert any(c.num_vertices > 8 for c in contours)

@@ -1,0 +1,125 @@
+"""Integration tests for the post-OPC timing flow.
+
+These run the real pipeline (litho simulation included), so the designs
+are kept tiny; the full-size runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import c17, inverter_chain
+from repro.flow import FlowConfig, PostOpcTimingFlow
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+@pytest.fixture(scope="module")
+def chain_flow(tech, lib):
+    return PostOpcTimingFlow(inverter_chain(3), tech, cells=lib)
+
+
+@pytest.fixture(scope="module")
+def chain_report_none(chain_flow):
+    return chain_flow.run(FlowConfig(opc_mode="none", clock_period_ps=400))
+
+
+@pytest.fixture(scope="module")
+def c17_flow(tech, lib):
+    return PostOpcTimingFlow(c17(lib), tech, cells=lib)
+
+
+class TestFlowConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig(opc_mode="psm")
+
+
+class TestFlowNoOpc(object):
+    def test_every_transistor_measured(self, chain_flow, chain_report_none):
+        assert set(chain_report_none.measurements) == set(chain_flow.gate_rects)
+
+    def test_uncorrected_gates_print_thin(self, chain_report_none):
+        # At the calibrated threshold, un-OPC'd cell context under-prints.
+        assert chain_report_none.cd_stats.mean < -3.0
+
+    def test_all_gates_print(self, chain_report_none):
+        assert chain_report_none.failed_gates == []
+        assert all(m.printed for m in chain_report_none.measurements.values())
+
+    def test_thin_gates_speed_up_timing(self, chain_report_none):
+        # Shorter channels -> stronger drive -> earlier arrivals.
+        assert chain_report_none.wns_post > chain_report_none.wns_drawn
+
+    def test_thin_gates_leak(self, chain_report_none):
+        assert chain_report_none.leakage_post > 1.3 * chain_report_none.leakage_drawn
+
+    def test_runtimes_recorded(self, chain_report_none):
+        assert set(chain_report_none.runtimes) == {
+            "sta_drawn", "opc", "metrology", "sta_post"
+        }
+
+    def test_summary_text(self, chain_report_none):
+        text = chain_report_none.summary()
+        assert "WNS drawn" in text
+        assert "leakage" in text
+
+
+class TestFlowRuleOpc:
+    def test_rule_opc_recovers_most_of_the_error(self, chain_flow, chain_report_none):
+        report = chain_flow.run(FlowConfig(opc_mode="rule", clock_period_ps=400))
+        # Rule OPC removes the bulk of the CD error but leaves residuals —
+        # that gap is exactly what the paper's flow extracts.
+        assert abs(report.cd_stats.mean) < abs(chain_report_none.cd_stats.mean) / 3
+        assert abs(report.wns_change_percent) < abs(chain_report_none.wns_change_percent)
+
+
+class TestCriticalTagging:
+    def test_critical_gates_on_worst_paths(self, c17_flow):
+        report_config = FlowConfig(opc_mode="none", clock_period_ps=500,
+                                   n_critical_paths=1)
+        sta = c17_flow.engine.run()
+        critical = c17_flow.tag_critical_gates(sta, 1)
+        assert critical  # c17's worst path has gates
+        assert all(name in c17_flow.netlist.gates for name in critical)
+
+    def test_more_paths_tag_more_gates(self, c17_flow):
+        sta = c17_flow.engine.run()
+        one = c17_flow.tag_critical_gates(sta, 1)
+        many = c17_flow.tag_critical_gates(sta, 4)
+        assert one <= many
+
+
+class TestSelectiveOpc:
+    def test_selective_corrects_fewer_polygons(self, c17_flow):
+        selective = FlowConfig(opc_mode="selective", clock_period_ps=500,
+                               n_critical_paths=1)
+        full = FlowConfig(opc_mode="model", clock_period_ps=500)
+        sta = c17_flow.engine.run()
+        critical = c17_flow.tag_critical_gates(sta, 1)
+        _, n_selective = c17_flow.apply_opc(selective, critical)
+        _, n_full = c17_flow.apply_opc(full, critical)
+        assert 0 < n_selective < n_full
+
+    def test_mask_polygon_count_preserved(self, c17_flow):
+        config = FlowConfig(opc_mode="rule", clock_period_ps=500)
+        mask, _ = c17_flow.apply_opc(config, set())
+        assert len(mask) == len(c17_flow.owned_polygons)
+
+
+class TestFlowRouting:
+    def test_routed_wire_model_option(self, chain_flow, chain_report_none):
+        routed = chain_flow.run(FlowConfig(opc_mode="none", clock_period_ps=400,
+                                           use_routing=True))
+        # Same design, realised wires: timing shifts but stays the same scale.
+        assert routed.wns_drawn == pytest.approx(chain_report_none.wns_drawn,
+                                                 rel=0.2)
+        assert routed.wns_drawn != chain_report_none.wns_drawn

@@ -1,0 +1,168 @@
+"""Round-trip and format tests for the binary GDSII reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gds import Layout, read_gds, write_gds
+from repro.gds.gdsii import _from_gds_real8, _to_gds_real8
+from repro.geometry import Polygon, Rect, Transform
+
+POLY = (10, 0)
+METAL1 = (30, 0)
+
+
+def roundtrip(layout: Layout) -> Layout:
+    buf = io.BytesIO()
+    write_gds(layout, buf)
+    buf.seek(0)
+    return read_gds(buf)
+
+
+class TestReal8:
+    def test_zero(self):
+        assert _from_gds_real8(_to_gds_real8(0.0)) == 0.0
+
+    def test_exact_values(self):
+        for value in (1.0, -1.0, 0.001, 1e-9, 256.0, 0.0625):
+            assert _from_gds_real8(_to_gds_real8(value)) == pytest.approx(value, rel=1e-12)
+
+    def test_known_encoding_of_one(self):
+        # 1.0 = 0.0625 * 16^1 -> exponent 65, mantissa 0.0625.
+        data = _to_gds_real8(1.0)
+        assert data[0] == 65
+        assert int.from_bytes(data[1:], "big") == (1 << 56) // 16
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrip_positive(self, value):
+        assert _from_gds_real8(_to_gds_real8(value)) == pytest.approx(value, rel=1e-14)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrip_negative(self, value):
+        assert _from_gds_real8(_to_gds_real8(-value)) == pytest.approx(-value, rel=1e-14)
+
+
+class TestRoundTrip:
+    def test_single_polygon(self):
+        layout = Layout("LIB1")
+        cell = layout.new_cell("A")
+        cell.add_rect(POLY, Rect(0, 0, 90, 600))
+        back = roundtrip(layout)
+        assert back.name == "LIB1"
+        assert back.unit_nm == pytest.approx(1.0)
+        assert back["A"].polygons_on(POLY) == [Polygon.from_rect(Rect(0, 0, 90, 600))]
+
+    def test_l_shaped_polygon(self):
+        layout = Layout()
+        cell = layout.new_cell("L")
+        shape = Polygon.from_xy([(0, 0), (400, 0), (400, 200), (200, 200), (200, 400), (0, 400)])
+        cell.add_polygon(METAL1, shape)
+        back = roundtrip(layout)
+        assert back["L"].polygons_on(METAL1) == [shape]
+
+    def test_multiple_layers_and_cells(self):
+        layout = Layout()
+        a = layout.new_cell("A")
+        a.add_rect(POLY, Rect(0, 0, 10, 10))
+        a.add_rect(METAL1, Rect(5, 5, 20, 20))
+        b = layout.new_cell("B")
+        b.add_rect(POLY, Rect(-10, -10, 0, 0))
+        back = roundtrip(layout)
+        assert set(back.cells) == {"A", "B"}
+        assert back["A"].layers() == [POLY, METAL1]
+
+    def test_sref_with_transform(self):
+        layout = Layout()
+        leaf = layout.new_cell("LEAF")
+        leaf.add_rect(POLY, Rect(0, 0, 10, 20))
+        top = layout.new_cell("TOP")
+        top.add_instance("LEAF", Transform(dx=1000, dy=-500, rotation=90, mirror_x=True))
+        top.add_instance("LEAF", Transform(dx=0, dy=0))
+        back = roundtrip(layout)
+        transforms = [inst.transform for inst in back["TOP"].instances]
+        assert Transform(dx=1000, dy=-500, rotation=90, mirror_x=True) in transforms
+        assert Transform(dx=0, dy=0) in transforms
+
+    def test_flattened_geometry_identical_after_roundtrip(self):
+        layout = Layout()
+        leaf = layout.new_cell("LEAF")
+        leaf.add_rect(POLY, Rect(0, 0, 90, 600))
+        top = layout.new_cell("TOP")
+        for i in range(4):
+            top.add_instance("LEAF", Transform(dx=240 * i, dy=0, rotation=0, mirror_x=i % 2 == 1))
+        back = roundtrip(layout)
+        original = sorted((p.bbox.x0, p.bbox.y0) for p in layout.flat_polygons("TOP", POLY))
+        recovered = sorted((p.bbox.x0, p.bbox.y0) for p in back.flat_polygons("TOP", POLY))
+        assert original == recovered
+
+    def test_negative_coordinates(self):
+        layout = Layout()
+        cell = layout.new_cell("NEG")
+        cell.add_rect(POLY, Rect(-1000, -2000, -500, -100))
+        back = roundtrip(layout)
+        assert back["NEG"].polygons_on(POLY)[0].bbox == Rect(-1000, -2000, -500, -100)
+
+    def test_file_path_io(self, tmp_path):
+        layout = Layout()
+        layout.new_cell("A").add_rect(POLY, Rect(0, 0, 5, 5))
+        path = str(tmp_path / "out.gds")
+        write_gds(layout, path)
+        back = read_gds(path)
+        assert "A" in back
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-10000, 10000), st.integers(-10000, 10000),
+                      st.integers(1, 500), st.integers(1, 500)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_many_random_rects_roundtrip(self, specs):
+        layout = Layout()
+        cell = layout.new_cell("R")
+        for x, y, w, h in specs:
+            cell.add_rect(POLY, Rect(x, y, x + w, y + h))
+        back = roundtrip(layout)
+        original = sorted(p.bbox.as_tuple() if hasattr(p.bbox, "as_tuple") else
+                          (p.bbox.x0, p.bbox.y0, p.bbox.x1, p.bbox.y1)
+                          for p in cell.polygons_on(POLY))
+        recovered = sorted((p.bbox.x0, p.bbox.y0, p.bbox.x1, p.bbox.y1)
+                           for p in back["R"].polygons_on(POLY))
+        assert original == recovered
+
+
+class TestFormat:
+    def test_header_is_gds_version_600(self):
+        layout = Layout()
+        layout.new_cell("A").add_rect(POLY, Rect(0, 0, 1, 1))
+        buf = io.BytesIO()
+        write_gds(layout, buf)
+        data = buf.getvalue()
+        length, rec_type, data_type = struct.unpack(">HBB", data[:4])
+        assert (rec_type, data_type) == (0x00, 0x02)
+        assert struct.unpack(">h", data[4:6])[0] == 600
+
+    def test_stream_ends_with_endlib(self):
+        layout = Layout()
+        layout.new_cell("A").add_rect(POLY, Rect(0, 0, 1, 1))
+        buf = io.BytesIO()
+        write_gds(layout, buf)
+        data = buf.getvalue()
+        assert data[-4:] == struct.pack(">HBB", 4, 0x04, 0x00) + b""
+
+    def test_odd_length_names_padded(self):
+        layout = Layout("ODD")
+        layout.new_cell("XYZ").add_rect(POLY, Rect(0, 0, 1, 1))
+        back = roundtrip(layout)
+        assert back.name == "ODD"
+        assert "XYZ" in back
+
+    def test_units_record_one_nm(self):
+        layout = Layout(unit_nm=1.0)
+        layout.new_cell("A").add_rect(POLY, Rect(0, 0, 1, 1))
+        back = roundtrip(layout)
+        assert back.unit_nm == pytest.approx(1.0, rel=1e-12)

@@ -1,0 +1,117 @@
+"""Tests for the hierarchical layout database."""
+
+import pytest
+
+from repro.gds import Cell, Layout
+from repro.geometry import Polygon, Rect, Transform
+
+POLY = (10, 0)
+METAL1 = (30, 0)
+
+
+def make_inv_like_layout():
+    layout = Layout("TEST")
+    unit = layout.new_cell("UNIT")
+    unit.add_rect(POLY, Rect(0, 0, 10, 100))
+    unit.add_rect(METAL1, Rect(-5, 40, 15, 60))
+    top = layout.new_cell("TOP")
+    top.add_instance("UNIT", Transform.translation(0, 0))
+    top.add_instance("UNIT", Transform.translation(50, 0))
+    top.add_instance("UNIT", Transform(dx=150, dy=0, rotation=180))
+    return layout
+
+
+class TestCell:
+    def test_add_and_query(self):
+        cell = Cell("C")
+        cell.add_rect(POLY, Rect(0, 0, 1, 1))
+        assert len(cell.polygons_on(POLY)) == 1
+        assert cell.polygons_on(METAL1) == []
+        assert cell.layers() == [POLY]
+        assert cell.polygon_count == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("")
+
+    def test_local_bbox(self):
+        cell = Cell("C")
+        assert cell.local_bbox() is None
+        cell.add_rect(POLY, Rect(0, 0, 10, 10))
+        cell.add_rect(METAL1, Rect(20, -5, 30, 5))
+        assert cell.local_bbox() == Rect(0, -5, 30, 10)
+
+
+class TestLayout:
+    def test_duplicate_cell_rejected(self):
+        layout = Layout()
+        layout.new_cell("A")
+        with pytest.raises(ValueError):
+            layout.new_cell("A")
+
+    def test_contains_and_getitem(self):
+        layout = make_inv_like_layout()
+        assert "UNIT" in layout
+        assert layout["UNIT"].name == "UNIT"
+        assert "MISSING" not in layout
+
+    def test_top_cells(self):
+        layout = make_inv_like_layout()
+        assert [c.name for c in layout.top_cells()] == ["TOP"]
+
+    def test_cell_depth(self):
+        layout = make_inv_like_layout()
+        assert layout.cell_depth("UNIT") == 0
+        assert layout.cell_depth("TOP") == 1
+
+    def test_iter_flat_counts(self):
+        layout = make_inv_like_layout()
+        flat = list(layout.iter_flat("TOP"))
+        assert len(flat) == 6  # 3 instances x 2 polygons
+
+    def test_flatten_preserves_area(self):
+        layout = make_inv_like_layout()
+        flat = layout.flatten("TOP")
+        area = sum(p.area for p in flat.polygons_on(POLY))
+        assert area == pytest.approx(3 * 10 * 100)
+
+    def test_flat_polygons_transformed(self):
+        layout = make_inv_like_layout()
+        polys = layout.flat_polygons("TOP", POLY)
+        bboxes = sorted((p.bbox.x0, p.bbox.x1) for p in polys)
+        # Third instance is rotated 180 about (150, 0): x in [140, 150].
+        assert bboxes == [(0, 10), (50, 60), (140, 150)]
+
+    def test_bbox(self):
+        layout = make_inv_like_layout()
+        box = layout.bbox("TOP")
+        assert box.x0 == -5
+        assert box.x1 == 155  # mirrored metal1 reaches 150 + 5
+
+    def test_unknown_cell_raises(self):
+        layout = make_inv_like_layout()
+        with pytest.raises(KeyError):
+            list(layout.iter_flat("NOPE"))
+
+    def test_nested_hierarchy_two_levels(self):
+        layout = make_inv_like_layout()
+        chip = layout.new_cell("CHIP")
+        chip.add_instance("TOP", Transform.translation(1000, 2000))
+        polys = layout.flat_polygons("CHIP", POLY)
+        assert len(polys) == 3
+        assert min(p.bbox.x0 for p in polys) == 1000
+
+    def test_nested_transform_with_rotation(self):
+        layout = Layout()
+        leaf = layout.new_cell("LEAF")
+        leaf.add_rect(POLY, Rect(0, 0, 4, 2))
+        mid = layout.new_cell("MID")
+        mid.add_instance("LEAF", Transform(dx=10, dy=0, rotation=90))
+        top = layout.new_cell("TOPC")
+        top.add_instance("MID", Transform(dx=0, dy=100, rotation=90))
+        (poly,) = layout.flat_polygons("TOPC", POLY)
+        # 90 deg then 90 deg = 180 total; area invariant.
+        # Leaf rect -> rotate 90 and shift x+10 -> (8,0,10,4); rotate 90 again
+        # and shift y+100 -> (-4,108,0,110).
+        assert poly.area == pytest.approx(8)
+        assert poly.bbox == Rect(-4, 108, 0, 110)

@@ -1,0 +1,144 @@
+"""Tests for the edge model and OPC fragmentation/reassembly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Edge,
+    EdgeOrientation,
+    Fragment,
+    FragmentKind,
+    Point,
+    Polygon,
+    Rect,
+    fragment_polygon,
+    polygon_edges,
+    rebuild_polygon,
+)
+
+
+def wide_line():
+    """A 400x100 horizontal line (nm-ish scale used by the OPC engine)."""
+    return Polygon.from_rect(Rect(0, 0, 400, 100))
+
+
+class TestEdge:
+    def test_outward_normal_points_away_from_ccw_interior(self):
+        square = Polygon.from_rect(Rect(0, 0, 2, 2))
+        for edge in polygon_edges(square):
+            probe = edge.midpoint + edge.outward_normal * 0.5
+            assert not square.contains_point(probe)
+
+    def test_orientation(self):
+        assert Edge(Point(0, 0), Point(5, 0)).orientation == EdgeOrientation.HORIZONTAL
+        assert Edge(Point(0, 0), Point(0, 5)).orientation == EdgeOrientation.VERTICAL
+
+    def test_orientation_diagonal_raises(self):
+        with pytest.raises(ValueError):
+            Edge(Point(0, 0), Point(1, 1)).orientation
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            Edge(Point(1, 1), Point(1, 1))
+
+    def test_point_at(self):
+        e = Edge(Point(0, 0), Point(10, 0))
+        assert e.point_at(0.25) == Point(2.5, 0)
+
+    def test_shifted_moves_outward(self):
+        square = Polygon.from_rect(Rect(0, 0, 2, 2))
+        bottom = polygon_edges(square)[0]
+        moved = bottom.shifted(1.0)
+        assert moved.midpoint.y == pytest.approx(-1.0)
+
+
+class TestFragmentation:
+    def test_fragments_cover_perimeter(self):
+        frags = fragment_polygon(wide_line(), max_length=60, corner_length=30, line_end_max=120)
+        assert sum(f.length for f in frags) == pytest.approx(wide_line().perimeter)
+
+    def test_short_edges_become_line_ends(self):
+        frags = fragment_polygon(wide_line(), max_length=60, corner_length=30, line_end_max=120)
+        vertical = [f for f in frags if f.orientation == EdgeOrientation.VERTICAL]
+        assert vertical and all(f.kind == FragmentKind.LINE_END for f in vertical)
+
+    def test_long_edges_have_corner_fragments_at_both_ends(self):
+        frags = fragment_polygon(wide_line(), max_length=60, corner_length=30, line_end_max=120)
+        horizontal = [f for f in frags if f.orientation == EdgeOrientation.HORIZONTAL]
+        bottom = [f for f in horizontal if f.control_point.y == 0]
+        assert bottom[0].kind == FragmentKind.CORNER
+        assert bottom[-1].kind == FragmentKind.CORNER
+        assert all(f.kind == FragmentKind.NORMAL for f in bottom[1:-1])
+
+    def test_interior_fragments_respect_max_length(self):
+        frags = fragment_polygon(wide_line(), max_length=60, corner_length=30, line_end_max=120)
+        for f in frags:
+            if f.kind == FragmentKind.NORMAL:
+                assert f.length <= 60 + 1e-9
+
+    def test_no_fragment_below_min_length(self):
+        frags = fragment_polygon(wide_line(), max_length=60, corner_length=30,
+                                 line_end_max=120, min_length=10)
+        assert all(f.length >= 10 - 1e-9 for f in frags)
+
+    def test_indexes_are_sequential(self):
+        frags = fragment_polygon(wide_line())
+        assert [f.index for f in frags] == list(range(len(frags)))
+
+    def test_non_rectilinear_raises(self):
+        with pytest.raises(ValueError):
+            fragment_polygon(Polygon.from_xy([(0, 0), (10, 0), (5, 10)]))
+
+
+class TestRebuild:
+    def test_zero_offsets_roundtrip(self):
+        poly = wide_line()
+        frags = fragment_polygon(poly)
+        assert rebuild_polygon(frags) == poly
+
+    def test_uniform_outward_bias_grows_area(self):
+        poly = wide_line()
+        frags = fragment_polygon(poly)
+        for f in frags:
+            f.offset = 5.0
+        grown = rebuild_polygon(frags)
+        assert grown.bbox == Rect(-5, -5, 405, 105)
+        assert grown.area > poly.area
+
+    def test_uniform_inward_bias_shrinks_area(self):
+        poly = wide_line()
+        frags = fragment_polygon(poly)
+        for f in frags:
+            f.offset = -5.0
+        assert rebuild_polygon(frags).area < poly.area
+
+    def test_single_fragment_move_creates_jog(self):
+        poly = wide_line()
+        frags = fragment_polygon(poly, max_length=60, corner_length=30, line_end_max=120)
+        normal = next(f for f in frags if f.kind == FragmentKind.NORMAL)
+        normal.offset = 4.0
+        rebuilt = rebuild_polygon(frags)
+        # Two jogs of 4nm appear; area grows by fragment length * offset.
+        assert rebuilt.area == pytest.approx(poly.area + normal.length * 4.0)
+        assert rebuilt.num_vertices > poly.num_vertices
+
+    def test_rebuild_needs_three_fragments(self):
+        with pytest.raises(ValueError):
+            rebuild_polygon([Fragment(Point(0, 0), Point(1, 0), FragmentKind.NORMAL)])
+
+    @given(st.lists(st.floats(-8, 8), min_size=1, max_size=16))
+    def test_area_changes_match_sum_of_moves(self, offsets):
+        """First-order area change equals sum(length_i * offset_i) exactly for
+        rectilinear jog reconstruction with non-interacting moves."""
+        poly = Polygon.from_rect(Rect(0, 0, 1000, 200))
+        frags = fragment_polygon(poly, max_length=50, corner_length=25, line_end_max=210)
+        # Move only well-separated NORMAL fragments to keep moves independent.
+        normals = [f for f in frags if f.kind == FragmentKind.NORMAL][::2]
+        moved = []
+        for f, off in zip(normals, offsets):
+            f.offset = off
+            moved.append((f.length, off))
+        rebuilt = rebuild_polygon(frags)
+        expected = poly.area + sum(length * off for length, off in moved)
+        assert rebuilt.area == pytest.approx(expected)

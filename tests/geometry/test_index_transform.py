@@ -1,0 +1,140 @@
+"""Tests for the spatial index and Manhattan transforms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import GridIndex, Point, Polygon, Rect, Transform
+
+
+class TestGridIndex:
+    def test_insert_and_query(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 5, 5), "a")
+        idx.insert(Rect(20, 20, 25, 25), "b")
+        assert idx.query(Rect(1, 1, 2, 2)) == ["a"]
+        assert idx.query(Rect(21, 21, 22, 22)) == ["b"]
+        assert set(idx.query(Rect(-100, -100, 100, 100))) == {"a", "b"}
+
+    def test_query_empty_region(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 5, 5), "a")
+        assert idx.query(Rect(50, 50, 60, 60)) == []
+
+    def test_strict_vs_touching(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 5, 5), "a")
+        assert idx.query(Rect(5, 0, 8, 5), strict=True) == []
+        assert idx.query(Rect(5, 0, 8, 5), strict=False) == ["a"]
+
+    def test_item_spanning_many_buckets_returned_once(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 100, 100), "big")
+        assert idx.query(Rect(0, 0, 100, 100)) == ["big"]
+
+    def test_query_point(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 5, 5), "a")
+        assert idx.query_point(3, 3) == ["a"]
+        assert idx.query_point(9, 9) == []
+
+    def test_negative_coordinates(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(-25, -25, -15, -15), "neg")
+        assert idx.query(Rect(-30, -30, -20, -20)) == ["neg"]
+
+    def test_duplicate_payloads_kept(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(Rect(0, 0, 1, 1), "x")
+        idx.insert(Rect(2, 2, 3, 3), "x")
+        assert len(idx.query(Rect(-1, -1, 4, 4))) == 2
+
+    def test_len_and_all_items(self):
+        idx = GridIndex(cell_size=10)
+        idx.extend([(Rect(0, 0, 1, 1), 1), (Rect(2, 2, 3, 3), 2)])
+        assert len(idx) == 2
+        assert sorted(idx.all_items()) == [1, 2]
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0)
+
+    @given(st.lists(st.tuples(st.integers(-50, 50), st.integers(-50, 50)), min_size=1, max_size=30))
+    def test_query_agrees_with_brute_force(self, origins):
+        idx = GridIndex(cell_size=7)
+        boxes = [Rect(x, y, x + 5, y + 5) for x, y in origins]
+        for i, b in enumerate(boxes):
+            idx.insert(b, i)
+        region = Rect(-10, -10, 20, 20)
+        expected = sorted(i for i, b in enumerate(boxes) if b.overlaps(region))
+        assert sorted(idx.query(region)) == expected
+
+
+class TestTransform:
+    def test_identity(self):
+        t = Transform.identity()
+        assert t.apply_point(Point(3, 4)) == Point(3, 4)
+
+    def test_translation(self):
+        t = Transform.translation(10, -5)
+        assert t.apply_point(Point(1, 1)) == Point(11, -4)
+
+    def test_rotations(self):
+        p = Point(1, 0)
+        assert Transform(rotation=90).apply_point(p) == Point(0, 1)
+        assert Transform(rotation=180).apply_point(p) == Point(-1, 0)
+        assert Transform(rotation=270).apply_point(p) == Point(0, -1)
+
+    def test_mirror_then_rotate_order(self):
+        # GDSII STRANS: mirror about x first, then rotate.
+        t = Transform(rotation=90, mirror_x=True)
+        assert t.apply_point(Point(1, 1)) == Point(1, 1)
+        assert t.apply_point(Point(1, 0)) == Point(0, 1)
+
+    def test_invalid_rotation(self):
+        with pytest.raises(ValueError):
+            Transform(rotation=45)
+
+    def test_apply_rect(self):
+        t = Transform(rotation=90)
+        assert t.apply_rect(Rect(0, 0, 2, 1)) == Rect(-1, 0, 0, 2)
+
+    def test_apply_polygon_preserves_area(self):
+        poly = Polygon.from_xy([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        for rotation in (0, 90, 180, 270):
+            for mirror in (False, True):
+                t = Transform(dx=7, dy=-3, rotation=rotation, mirror_x=mirror)
+                assert t.apply_polygon(poly).area == pytest.approx(poly.area)
+
+    @given(
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+        st.sampled_from([0, 90, 180, 270]),
+        st.booleans(),
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+    )
+    def test_inverse_roundtrips(self, dx, dy, rotation, mirror, px, py):
+        t = Transform(dx=dx, dy=dy, rotation=rotation, mirror_x=mirror)
+        p = Point(px, py)
+        back = t.inverse().apply_point(t.apply_point(p))
+        assert back.x == pytest.approx(p.x)
+        assert back.y == pytest.approx(p.y)
+
+    @given(
+        st.sampled_from([0, 90, 180, 270]),
+        st.booleans(),
+        st.sampled_from([0, 90, 180, 270]),
+        st.booleans(),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+    )
+    def test_compose_matches_sequential_application(self, r1, m1, r2, m2, px, py):
+        outer = Transform(dx=3, dy=-7, rotation=r1, mirror_x=m1)
+        inner = Transform(dx=-2, dy=5, rotation=r2, mirror_x=m2)
+        combined = outer.compose(inner)
+        p = Point(px, py)
+        expected = outer.apply_point(inner.apply_point(p))
+        got = combined.apply_point(p)
+        assert got.x == pytest.approx(expected.x)
+        assert got.y == pytest.approx(expected.y)

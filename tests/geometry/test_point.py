@@ -1,0 +1,83 @@
+"""Unit tests for points and grid snapping."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, snap
+
+
+class TestSnap:
+    def test_snaps_to_integer_grid(self):
+        assert snap(10.4) == 10.0
+        assert snap(10.6) == 11.0
+
+    def test_half_rounds_away_from_zero(self):
+        assert snap(0.5) == 1.0
+        assert snap(-0.5) == -1.0
+        assert snap(2.5) == 3.0
+
+    def test_custom_grid(self):
+        assert snap(12.0, grid=5.0) == 10.0
+        assert snap(13.0, grid=5.0) == 15.0
+
+    def test_rejects_nonpositive_grid(self):
+        with pytest.raises(ValueError):
+            snap(1.0, grid=0.0)
+        with pytest.raises(ValueError):
+            snap(1.0, grid=-1.0)
+
+    @given(st.floats(-1e6, 1e6))
+    def test_snapped_value_is_on_grid(self, value):
+        snapped = snap(value, grid=1.0)
+        assert snapped == round(snapped)
+
+    @given(st.floats(-1e6, 1e6), st.sampled_from([1.0, 2.0, 5.0, 10.0]))
+    def test_snap_moves_at_most_half_grid(self, value, grid):
+        assert abs(snap(value, grid) - value) <= grid / 2 + 1e-6
+
+    @given(st.floats(-1e6, 1e6))
+    def test_snap_is_idempotent(self, value):
+        once = snap(value)
+        assert snap(once) == once
+
+    @given(st.floats(0, 1e6))
+    def test_snap_is_symmetric(self, value):
+        assert snap(-value) == -snap(value)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0
+        assert Point(2, 3).dot(Point(4, 5)) == 23
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+    def test_norm_and_distance(self):
+        assert Point(3, 4).norm() == 5
+        assert Point(0, 0).distance(Point(3, 4)) == 5
+        assert Point(1, 1).manhattan(Point(4, 5)) == 7
+
+    def test_snapped(self):
+        assert Point(10.4, -10.6).snapped() == Point(10.0, -11.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_immutability(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 3
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_norm_matches_hypot(self, x, y):
+        assert Point(x, y).norm() == pytest.approx(math.hypot(x, y))

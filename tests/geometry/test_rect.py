@@ -1,0 +1,126 @@
+"""Unit tests for axis-aligned rectangles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(-1e6, 1e6)
+
+
+@st.composite
+def rects(draw):
+    x0, x1 = sorted((draw(coords), draw(coords)))
+    y0, y1 = sorted((draw(coords), draw(coords)))
+    return Rect(x0, y0, x1, y1)
+
+
+class TestConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_points_any_order(self):
+        r = Rect.from_points(Point(5, 7), Point(1, 2))
+        assert (r.x0, r.y0, r.x1, r.y1) == (1, 2, 5, 7)
+
+    def test_from_center(self):
+        r = Rect.from_center(0, 0, 10, 4)
+        assert (r.x0, r.y0, r.x1, r.y1) == (-5, -2, 5, 2)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)])
+        assert (r.x0, r.y0, r.x1, r.y1) == (0, -2, 6, 3)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestProperties:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.center == Point(2.5, 5)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 2, 1)
+        assert r.corners == [Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1)]
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 0, 5).is_degenerate()
+        assert not Rect(0, 0, 1, 5).is_degenerate()
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(0, 0), strict=True)
+        assert r.contains_point(Point(1, 1), strict=True)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlaps_touching(self):
+        a, b = Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)
+        assert not a.overlaps(b)  # strict: touching edges do not overlap
+        assert a.overlaps(b, strict=False)
+
+
+class TestOperations:
+    def test_intersection(self):
+        inter = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert inter == Rect(2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        inter = Rect(0, 0, 1, 1).intersection(Rect(1, 0, 2, 1))
+        assert inter is not None
+        assert inter.is_degenerate()
+
+    def test_expanded_and_shrunk(self):
+        assert Rect(0, 0, 10, 10).expanded(2) == Rect(-2, -2, 12, 12)
+        assert Rect(0, 0, 10, 10).expanded(-2) == Rect(2, 2, 8, 8)
+
+    def test_expanded_invert_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 2, 2).expanded(-2)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(5, -3) == Rect(5, -3, 6, -2)
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 4, 4).overlap_area(Rect(2, 2, 6, 6)) == 4
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0
+
+    @given(rects(), rects())
+    def test_intersection_commutes(self, a, b):
+        ab, ba = a.intersection(b), b.intersection(a)
+        assert ab == ba
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects())
+    def test_self_intersection_is_identity(self, r):
+        assert r.intersection(r) == r
+
+    @given(rects(), st.floats(0.001, 100))
+    def test_expand_then_shrink_roundtrips(self, r, margin):
+        grown = r.expanded(margin)
+        back = grown.expanded(-margin)
+        assert back.x0 == pytest.approx(r.x0, rel=1e-9, abs=1e-6)
+        assert back.y1 == pytest.approx(r.y1, rel=1e-9, abs=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for NILS/MEEF metrics and attenuated-PSM imaging."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    AerialImage,
+    LithographySimulator,
+    dose_latitude_percent,
+    grating_meef,
+    grating_nils,
+    nils_at_edge,
+)
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def sim(tech):
+    simulator = LithographySimulator.for_tech(tech)
+    simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def psm_sim(tech):
+    settings = dataclasses.replace(tech.litho, mask_type="attpsm")
+    simulator = LithographySimulator(settings)
+    simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return simulator
+
+
+class TestNils:
+    def test_analytic_exponential_edge(self):
+        # I(x) = exp(s x): log slope is exactly s everywhere.
+        xs = (np.arange(100) + 0.5) * 2.0
+        data = np.tile(np.exp(0.01 * xs), (100, 1))
+        image = AerialImage(0.0, 0.0, 2.0, data)
+        assert nils_at_edge(image, 100.0, 100.0, 90.0) == pytest.approx(0.9, rel=0.05)
+
+    def test_zero_on_flat_image(self):
+        image = AerialImage(0, 0, 4.0, np.full((50, 50), 0.5))
+        assert nils_at_edge(image, 100, 100, 90) == 0.0
+
+    def test_grating_nils_positive(self, sim):
+        assert grating_nils(sim, 90, 320) > 0.3
+
+    def test_defocus_degrades_nils(self, sim):
+        from repro.litho.resist import ProcessCondition
+
+        focus = grating_nils(sim, 90, 320)
+        blur = grating_nils(sim, 90, 320, condition=ProcessCondition(defocus_nm=250))
+        assert blur < focus
+
+
+class TestMeef:
+    def test_meef_above_one_at_min_pitch(self, sim):
+        assert grating_meef(sim, 90, 320) > 1.0
+
+    def test_meef_relaxes_with_pitch_and_size(self, sim):
+        tight = grating_meef(sim, 90, 320)
+        relaxed = grating_meef(sim, 130, 520)
+        assert relaxed < tight
+        assert relaxed == pytest.approx(1.0, abs=0.4)
+
+
+class TestDoseLatitude:
+    def test_positive_latitude_at_anchor(self, sim):
+        latitude = dose_latitude_percent(sim, 90, 320)
+        assert 1.0 <= latitude <= 25.0
+
+
+class TestAttPsm:
+    def test_unknown_mask_type_rejected(self, tech):
+        settings = dataclasses.replace(tech.litho, mask_type="chromeless")
+        simulator = LithographySimulator(settings)
+        with pytest.raises(ValueError):
+            simulator.feature_amplitude
+
+    def test_feature_amplitude_values(self, sim, psm_sim):
+        assert sim.feature_amplitude == 0.0
+        assert psm_sim.feature_amplitude == pytest.approx(-(0.06 ** 0.5))
+
+    def test_psm_improves_nils(self, sim, psm_sim):
+        binary = grating_nils(sim, 90, 320)
+        psm = grating_nils(psm_sim, 90, 320)
+        assert psm > 1.15 * binary
+
+    def test_psm_still_prints_on_target(self, psm_sim):
+        from repro.geometry import Polygon, Rect
+        from repro.litho.simulator import measure_cd_on_cutline
+
+        lines = [Polygon.from_rect(Rect(i * 320 - 45, -1500, i * 320 + 45, 1500))
+                 for i in range(-3, 4)]
+        latent = psm_sim.latent_image(lines, Rect(-160, -100, 160, 100))
+        cd = measure_cd_on_cutline(latent, psm_sim.resist.threshold, -160, 160, 0.0)
+        assert cd == pytest.approx(90, abs=1.5)

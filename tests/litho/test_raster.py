@@ -1,0 +1,112 @@
+"""Tests for analytic-coverage rasterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, Rect
+from repro.litho import rasterize
+from repro.litho.raster import _interval_coverage, rasterize_rects
+
+
+class TestIntervalCoverage:
+    def test_full_bins(self):
+        cov = _interval_coverage(0, 30, 0, 10, 5)
+        assert cov.tolist() == [1, 1, 1, 0, 0]
+
+    def test_partial_edges(self):
+        cov = _interval_coverage(3, 27, 0, 10, 3)
+        assert cov == pytest.approx([0.7, 1.0, 0.7])
+
+    def test_inside_single_bin(self):
+        cov = _interval_coverage(2, 7, 0, 10, 2)
+        assert cov == pytest.approx([0.5, 0.0])
+
+    def test_clipped_to_grid(self):
+        cov = _interval_coverage(-100, 15, 0, 10, 2)
+        assert cov == pytest.approx([1.0, 0.5])
+
+    def test_empty_interval(self):
+        assert _interval_coverage(5, 5, 0, 10, 2).sum() == 0
+
+    def test_boundary_aligned(self):
+        cov = _interval_coverage(10, 20, 0, 10, 3)
+        assert cov == pytest.approx([0.0, 1.0, 0.0])
+
+    @given(st.floats(0, 90), st.floats(0, 90))
+    def test_total_coverage_equals_length(self, a, span):
+        cov = _interval_coverage(a, a + span, 0, 10, 10)
+        expected = max(0.0, min(a + span, 100) - min(a, 100))
+        assert cov.sum() * 10 == pytest.approx(expected, abs=1e-9)
+
+
+class TestRasterize:
+    def test_area_preserved(self):
+        rect = Rect(13, 27, 113, 99)
+        grid = rasterize([Polygon.from_rect(rect)], Rect(0, 0, 160, 160), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(rect.area)
+
+    def test_l_shape_area_preserved(self):
+        l = Polygon.from_xy([(0, 0), (100, 0), (100, 40), (40, 40), (40, 100), (0, 100)])
+        grid = rasterize([l], Rect(-8, -8, 120, 120), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(l.area)
+
+    def test_pixel_aligned_rect_is_binary(self):
+        grid = rasterize([Polygon.from_rect(Rect(8, 8, 24, 24))], Rect(0, 0, 32, 32), 8.0)
+        assert set(np.unique(grid.data)) <= {0.0, 1.0}
+        assert grid.data.sum() == 4
+
+    def test_one_nm_edge_move_changes_coverage(self):
+        region = Rect(0, 0, 64, 64)
+        base = rasterize([Polygon.from_rect(Rect(16, 16, 48, 48))], region, 8.0)
+        moved = rasterize([Polygon.from_rect(Rect(16, 16, 49, 48))], region, 8.0)
+        delta = (moved.data - base.data).sum() * 64
+        assert delta == pytest.approx(32.0)  # 1 nm x 32 nm of new area
+
+    def test_outside_region_ignored(self):
+        grid = rasterize([Polygon.from_rect(Rect(1000, 1000, 1100, 1100))],
+                         Rect(0, 0, 64, 64), 8.0)
+        assert grid.data.sum() == 0
+
+    def test_partially_clipped(self):
+        grid = rasterize([Polygon.from_rect(Rect(-50, 0, 32, 64))], Rect(0, 0, 64, 64), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(32 * 64)
+
+    def test_overlapping_shapes_clip_at_one(self):
+        shape = Polygon.from_rect(Rect(8, 8, 24, 24))
+        grid = rasterize([shape, shape], Rect(0, 0, 32, 32), 8.0)
+        assert grid.data.max() == 1.0
+
+    def test_transmission_polarity(self):
+        grid = rasterize([Polygon.from_rect(Rect(0, 0, 32, 32))], Rect(0, 0, 32, 32), 8.0)
+        dark = grid.transmission(background=1.0, feature=0.0)
+        assert dark.max() == 0.0
+        bright = grid.transmission(background=0.0, feature=1.0)
+        assert bright.min() == 1.0
+
+    def test_region_geometry(self):
+        grid = rasterize([], Rect(10, 20, 90, 60), 8.0)
+        assert grid.nx == 10
+        assert grid.ny == 5
+        assert grid.region == Rect(10, 20, 90, 60)
+        xs, ys = grid.pixel_centers()
+        assert xs[0] == 14.0
+        assert ys[-1] == 56.0
+
+    def test_bad_pixel_rejected(self):
+        with pytest.raises(ValueError):
+            rasterize([], Rect(0, 0, 10, 10), 0.0)
+
+    def test_rasterize_rects_skips_degenerate(self):
+        grid = rasterize_rects([Rect(0, 0, 0, 10), Rect(0, 0, 16, 16)],
+                               Rect(0, 0, 32, 32), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(256)
+
+    @given(
+        st.integers(0, 56), st.integers(0, 56), st.integers(1, 64), st.integers(1, 64),
+    )
+    def test_random_rect_area_preserved(self, x, y, w, h):
+        rect = Rect(x, y, min(x + w, 120), min(y + h, 120))
+        grid = rasterize([Polygon.from_rect(rect)], Rect(0, 0, 120, 120), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(rect.area, rel=1e-9)

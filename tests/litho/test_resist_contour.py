@@ -1,0 +1,146 @@
+"""Tests for the resist model and marching-squares contours."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Polygon, Rect
+from repro.litho import AerialImage, ResistModel, marching_squares
+from repro.litho.contour import contours_of_latent
+from repro.litho.resist import ProcessCondition
+from repro.pdk import LithoSettings
+
+
+def flat_image(value, n=32, pixel=8.0):
+    return AerialImage(0.0, 0.0, pixel, np.full((n, n), float(value)))
+
+
+class TestProcessCondition:
+    def test_nominal(self):
+        c = ProcessCondition()
+        assert c.dose == 1.0
+        assert c.defocus_nm == 0.0
+
+    def test_label(self):
+        assert "dose=1.050" in ProcessCondition(dose=1.05, defocus_nm=100).label
+
+    def test_bad_dose(self):
+        with pytest.raises(ValueError):
+            ProcessCondition(dose=0.0)
+
+
+class TestResistModel:
+    def test_from_settings(self):
+        model = ResistModel.from_settings(LithoSettings())
+        assert model.threshold == LithoSettings().resist_threshold
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ResistModel(threshold=0.0)
+        with pytest.raises(ValueError):
+            ResistModel(threshold=1.5)
+        with pytest.raises(ValueError):
+            ResistModel(threshold=0.3, diffusion_nm=-1)
+
+    def test_dose_scales_latent(self):
+        model = ResistModel(threshold=0.3, diffusion_nm=0.0)
+        latent = model.latent_image(flat_image(0.5), dose=1.2)
+        assert latent.intensity == pytest.approx(np.full((32, 32), 0.6))
+
+    def test_develop_polarity_dark_feature(self):
+        model = ResistModel(threshold=0.3, diffusion_nm=0.0)
+        assert model.develop(flat_image(0.1)).all()       # dark -> resist stays
+        assert not model.develop(flat_image(0.9)).any()   # bright -> cleared
+
+    def test_develop_polarity_bright_feature(self):
+        model = ResistModel(threshold=0.3, diffusion_nm=0.0, dark_feature=False)
+        assert not model.develop(flat_image(0.1)).any()
+        assert model.develop(flat_image(0.9)).all()
+
+    def test_diffusion_smooths_step(self):
+        data = np.zeros((32, 32))
+        data[:, 16:] = 1.0
+        image = AerialImage(0, 0, 8.0, data)
+        sharp = ResistModel(threshold=0.5, diffusion_nm=0.0).latent_image(image)
+        soft = ResistModel(threshold=0.5, diffusion_nm=24.0).latent_image(image)
+        sharp_grad = np.abs(np.diff(sharp.intensity[16])).max()
+        soft_grad = np.abs(np.diff(soft.intensity[16])).max()
+        assert soft_grad < sharp_grad
+
+    def test_diffusion_preserves_mean(self):
+        rng = np.random.default_rng(1)
+        image = AerialImage(0, 0, 8.0, rng.uniform(0.2, 0.8, (48, 48)))
+        blurred = ResistModel(threshold=0.3, diffusion_nm=20.0).latent_image(image)
+        assert blurred.intensity.mean() == pytest.approx(image.intensity.mean(), rel=0.02)
+
+
+class TestMarchingSquares:
+    def test_dark_square_yields_one_closed_contour(self):
+        field = np.ones((40, 40))
+        field[10:30, 10:30] = 0.0
+        contours = marching_squares(field, 0.5, pixel=8.0)
+        assert len(contours) == 1
+        # 20x8 = 160 nm square; level midway between samples.
+        assert contours[0].area == pytest.approx(160 * 160, rel=0.1)
+
+    def test_contour_encloses_dark_region(self):
+        field = np.ones((40, 40))
+        field[10:30, 10:30] = 0.0
+        (contour,) = marching_squares(field, 0.5, pixel=8.0)
+        # Center of the dark block in nm (pixel centers at (i+0.5)*8).
+        assert contour.contains_point(Point(20 * 8, 20 * 8))
+        assert not contour.contains_point(Point(2 * 8, 2 * 8))
+
+    def test_two_features_two_contours(self):
+        field = np.ones((40, 60))
+        field[10:30, 10:20] = 0.0
+        field[10:30, 40:50] = 0.0
+        contours = marching_squares(field, 0.5, pixel=8.0)
+        assert len(contours) == 2
+
+    def test_feature_touching_border_closes(self):
+        field = np.ones((20, 20))
+        field[0:10, 0:10] = 0.0
+        contours = marching_squares(field, 0.5, pixel=8.0)
+        assert len(contours) == 1
+        assert contours[0].area > 0
+
+    def test_subpixel_interpolation(self):
+        # Linear ramp: crossing of 0.25 between samples 2 (0.2) and 3 (0.3)
+        # sits exactly halfway.
+        field = np.tile(np.arange(10) / 10.0, (10, 1))
+        contours = marching_squares(field, 0.25, pixel=1.0, pad_value=1.0)
+        xs = [p.x for c in contours for p in c.points]
+        # The ramp crosses 0.25 halfway between samples 2 (0.2) and 3 (0.3),
+        # i.e. at pixel-center coordinate (2.5 + 0.5) * 1.0 = 3.0.
+        assert max(xs) == pytest.approx(3.0, abs=1e-6)
+
+    def test_offset_and_pixel_scaling(self):
+        field = np.ones((20, 20))
+        field[5:15, 5:15] = 0.0
+        (c1,) = marching_squares(field, 0.5, x0=0.0, y0=0.0, pixel=1.0)
+        (c2,) = marching_squares(field, 0.5, x0=100.0, y0=50.0, pixel=2.0)
+        assert c2.area == pytest.approx(4 * c1.area)
+        assert c2.bbox.x0 == pytest.approx(100 + 2 * c1.bbox.x0)
+
+    def test_flat_field_no_contours(self):
+        assert marching_squares(np.ones((16, 16)), 0.5) == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            marching_squares(np.ones(16), 0.5)
+
+    def test_saddle_cell_handled(self):
+        # Checkerboard corner values create the ambiguous cases.
+        field = np.ones((3, 3))
+        field[0, 0] = field[1, 1] = 0.0
+        field[2, 2] = 0.0
+        contours = marching_squares(field, 0.5, pixel=10.0)
+        assert all(c.area > 0 for c in contours)
+
+    def test_contours_of_latent_uses_geometry(self):
+        field = np.ones((30, 30))
+        field[10:20, 10:20] = 0.0
+        latent = AerialImage(500.0, 600.0, 4.0, field)
+        contours = contours_of_latent(latent, 0.5)
+        assert len(contours) == 1
+        assert contours[0].bbox.x0 > 500.0

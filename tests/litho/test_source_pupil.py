@@ -1,0 +1,111 @@
+"""Tests for illumination sources and the projection pupil."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.litho import Pupil, make_source
+from repro.pdk import LithoSettings
+
+
+def settings(**kwargs):
+    return dataclasses.replace(LithoSettings(), **kwargs)
+
+
+class TestSource:
+    def test_weights_normalized(self):
+        points = make_source(settings())
+        assert sum(p.weight for p in points) == pytest.approx(1.0)
+
+    def test_annular_excludes_center(self):
+        points = make_source(settings(source_type="annular", sigma_inner=0.5,
+                                      sigma_outer=0.85))
+        radii = [np.hypot(p.sx, p.sy) for p in points]
+        assert min(radii) >= 0.5 - 1e-9
+        assert max(radii) <= 0.85 + 1e-9
+
+    def test_conventional_includes_center(self):
+        points = make_source(settings(source_type="conventional", sigma_outer=0.6,
+                                      source_grid=11))
+        assert any(p.sx == 0 and p.sy == 0 for p in points)
+
+    def test_quadrupole_has_four_fold_symmetry(self):
+        points = make_source(settings(source_type="quadrupole", sigma_inner=0.55,
+                                      sigma_outer=0.85, source_grid=15))
+        coords = {(round(p.sx, 9), round(p.sy, 9)) for p in points}
+        assert coords == {(-x, y) for x, y in coords}
+        assert coords == {(x, -y) for x, y in coords}
+        assert all(abs(x) > 0.05 and abs(y) > 0.05 for x, y in coords)
+
+    def test_single_point_source_is_coherent(self):
+        points = make_source(settings(source_type="conventional", sigma_outer=0.3,
+                                      source_grid=1))
+        assert len(points) == 1
+        assert points[0].weight == 1.0
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            make_source(settings(sigma_outer=0.0))
+        with pytest.raises(ValueError):
+            make_source(settings(source_type="annular", sigma_inner=0.9, sigma_outer=0.8))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_source(settings(source_type="dipole_exotic"))
+
+    def test_empty_discretization_rejected(self):
+        # A razor-thin annulus that no grid point hits.
+        with pytest.raises(ValueError):
+            make_source(settings(source_type="annular", sigma_inner=0.8491,
+                                 sigma_outer=0.8492, source_grid=3))
+
+
+class TestPupil:
+    def test_unit_amplitude_inside_cutoff(self):
+        pupil = Pupil(settings())
+        cutoff = pupil.cutoff
+        values = pupil.evaluate(np.array([0.0, cutoff * 0.5]), np.array([0.0, 0.0]))
+        assert np.allclose(np.abs(values), 1.0)
+
+    def test_zero_outside_cutoff(self):
+        pupil = Pupil(settings())
+        value = pupil.evaluate(np.array([pupil.cutoff * 1.01]), np.array([0.0]))
+        assert value[0] == 0.0
+
+    def test_in_focus_is_real(self):
+        pupil = Pupil(settings(), defocus_nm=0.0)
+        values = pupil.evaluate(np.linspace(0, pupil.cutoff, 5), np.zeros(5))
+        assert np.allclose(values.imag, 0.0)
+
+    def test_defocus_adds_quadratic_phase(self):
+        pupil = Pupil(settings(), defocus_nm=200.0)
+        s = settings()
+        f_edge = pupil.cutoff
+        center = pupil.evaluate(np.array([0.0]), np.array([0.0]))[0]
+        edge = pupil.evaluate(np.array([f_edge]), np.array([0.0]))[0]
+        assert np.angle(center) == pytest.approx(0.0)
+        expected = 2 * np.pi * 0.5 * 200.0 * s.numerical_aperture**2 / s.wavelength
+        assert np.angle(edge) == pytest.approx(
+            (expected + np.pi) % (2 * np.pi) - np.pi, abs=1e-9
+        )
+
+    def test_defocus_sign_symmetric_intensity(self):
+        plus = Pupil(settings(), defocus_nm=150.0)
+        minus = Pupil(settings(), defocus_nm=-150.0)
+        f = np.linspace(-plus.cutoff, plus.cutoff, 9)
+        assert np.allclose(plus.evaluate(f, 0 * f), np.conj(minus.evaluate(f, 0 * f)))
+
+    def test_spherical_aberration_changes_phase(self):
+        clean = Pupil(settings())
+        aberrated = Pupil(settings(), zernike={"spherical": 0.05})
+        f = np.array([clean.cutoff * 0.6])
+        assert not np.allclose(clean.evaluate(f, np.array([0.0])),
+                               aberrated.evaluate(f, np.array([0.0])))
+
+    def test_astig_breaks_xy_symmetry(self):
+        pupil = Pupil(settings(), zernike={"astig": 0.05})
+        f = pupil.cutoff * 0.7
+        vx = pupil.evaluate(np.array([f]), np.array([0.0]))[0]
+        vy = pupil.evaluate(np.array([0.0]), np.array([f]))[0]
+        assert not np.isclose(vx, vy)

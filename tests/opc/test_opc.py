@@ -1,0 +1,246 @@
+"""Tests for rule-based and model-based OPC, SRAF, MRC, and ORC."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rect
+from repro.litho import LithographySimulator
+from repro.litho.simulator import measure_cd_on_cutline
+from repro.opc import (
+    ModelOpcRecipe,
+    RuleOpcRecipe,
+    apply_model_opc,
+    apply_rule_opc,
+    check_mrc,
+    insert_srafs,
+    run_orc,
+)
+from repro.opc.orc import OrcLimits
+from repro.opc.rules import _NeighbourField
+from repro.geometry import Fragment, FragmentKind
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def sim(tech):
+    simulator = LithographySimulator.for_tech(tech)
+    simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return simulator
+
+
+def iso_line(width=90.0, length=1200.0):
+    return Polygon.from_rect(Rect(-width / 2, -length / 2, width / 2, length / 2))
+
+
+class TestNeighbourField:
+    def test_spacing_between_parallel_lines(self):
+        a = Polygon.from_rect(Rect(0, 0, 90, 600))
+        b = Polygon.from_rect(Rect(320, 0, 410, 600))
+        field = _NeighbourField([a, b], max_search=2000)
+        # Fragment on the right edge of a (CCW: upward) -> outward normal +x.
+        frag = Fragment(Point(90, 200), Point(90, 400), FragmentKind.NORMAL)
+        assert field.spacing_along_normal(frag, exclude=0) == pytest.approx(230)
+
+    def test_isolated_edge_capped(self):
+        a = Polygon.from_rect(Rect(0, 0, 90, 600))
+        field = _NeighbourField([a], max_search=2000)
+        frag = Fragment(Point(90, 400), Point(90, 200), FragmentKind.NORMAL)
+        assert field.spacing_along_normal(frag, exclude=0) == 2000
+
+    def test_own_polygon_excluded(self):
+        a = Polygon.from_rect(Rect(0, 0, 90, 600))
+        field = _NeighbourField([a], max_search=500)
+        # Fragment facing its own other edge must not see itself.
+        frag = Fragment(Point(0, 200), Point(0, 400), FragmentKind.NORMAL)
+        assert field.spacing_along_normal(frag, exclude=0) == 500
+
+
+class TestRuleOpc:
+    def test_bias_grows_polygon(self):
+        line = iso_line()
+        (corrected,) = apply_rule_opc([line])
+        assert corrected.area > line.area
+        assert corrected.bbox.contains_rect(line.bbox)
+
+    def test_line_end_extension_applied(self):
+        line = iso_line(length=1200)
+        recipe = RuleOpcRecipe(line_end_extension=25.0)
+        (corrected,) = apply_rule_opc([line], recipe)
+        assert corrected.bbox.y1 == pytest.approx(600 + 25)
+        assert corrected.bbox.y0 == pytest.approx(-600 - 25)
+
+    def test_dense_edges_get_less_bias_than_iso(self):
+        lines = [Polygon.from_rect(Rect(i * 320 - 45, -600, i * 320 + 45, 600))
+                 for i in range(-1, 2)]
+        corrected = apply_rule_opc(lines)
+        center = corrected[1]
+        # Facing edges dense (bias 1), all corrected widths >= drawn.
+        assert center.bbox.width == pytest.approx(92, abs=1)
+        (iso,) = apply_rule_opc([iso_line()])
+        assert iso.bbox.width > center.bbox.width
+
+    def test_context_affects_spacing_without_being_corrected(self):
+        target = iso_line()
+        neighbour = Polygon.from_rect(Rect(135, -600, 225, 600))
+        corrected = apply_rule_opc([target], context=[neighbour])
+        assert len(corrected) == 1
+        # Right edge sees the neighbour (dense bias 1), left edge is iso.
+        assert corrected[0].bbox.x1 - 45 < 45 - corrected[0].bbox.x0
+
+    def test_improves_printed_cd(self, sim, tech):
+        line = iso_line()
+        region = Rect(-200, -100, 200, 100)
+        raw = sim.latent_image([line], region)
+        cd_raw = measure_cd_on_cutline(raw, sim.resist.threshold, -200, 200, 0.0)
+        corrected = apply_rule_opc([line])
+        fixed = sim.latent_image(corrected, region)
+        cd_fixed = measure_cd_on_cutline(fixed, sim.resist.threshold, -200, 200, 0.0)
+        assert abs(cd_fixed - 90) < abs(cd_raw - 90)
+
+
+class TestModelOpc:
+    def test_epe_decreases_monotonically_at_start(self, sim):
+        result = apply_model_opc(sim, [iso_line()])
+        rms = [r for r, _ in result.epe_history]
+        assert rms[0] > rms[-1]
+        assert rms[1] < rms[0]
+
+    def test_beats_rule_opc(self, sim):
+        line = iso_line()
+        rule = run_orc(sim, apply_rule_opc([line]), [line])
+        model = run_orc(sim, apply_model_opc(sim, [line]).polygons, [line])
+        assert model.rms_epe < rule.rms_epe
+
+    def test_gate_cd_on_target_after_correction(self, sim):
+        line = iso_line(length=1600)
+        result = apply_model_opc(sim, [line])
+        latent = sim.latent_image(result.polygons, Rect(-200, -100, 200, 100))
+        cd = measure_cd_on_cutline(latent, sim.resist.threshold, -200, 200, 0.0)
+        assert cd == pytest.approx(90, abs=2.0)
+
+    def test_respects_max_total_move(self, sim):
+        recipe = ModelOpcRecipe(iterations=4, max_total_move=10.0)
+        result = apply_model_opc(sim, [iso_line()], recipe=recipe)
+        bbox = result.polygons[0].bbox
+        assert bbox.width <= 90 + 2 * 10 + 1e-6
+        assert bbox.height <= 1200 + 2 * 10 + 1e-6
+
+    def test_early_stop_on_target(self, sim):
+        # A loose 50 nm target: the first measurement (~65 nm worst EPE)
+        # still moves, the second (~35 nm) stops the loop.
+        recipe = ModelOpcRecipe(iterations=20, target_epe=50.0)
+        result = apply_model_opc(sim, [iso_line()], recipe=recipe)
+        assert result.iterations_run == 2
+
+    def test_empty_targets(self, sim):
+        result = apply_model_opc(sim, [])
+        assert result.polygons == []
+        assert result.iterations_run == 0
+
+    def test_output_on_manufacturing_grid(self, sim):
+        result = apply_model_opc(sim, [iso_line()])
+        for p in result.polygons:
+            for point in p.points:
+                assert point.x == pytest.approx(round(point.x))
+                assert point.y == pytest.approx(round(point.y))
+
+
+class TestSraf:
+    def test_iso_line_gets_bars_both_sides(self):
+        bars = insert_srafs([iso_line()])
+        assert len(bars) == 2
+        xs = sorted(b.bbox.center.x for b in bars)
+        assert xs[0] < -45 and xs[1] > 45
+
+    def test_dense_lines_get_no_bars_between(self):
+        lines = [Polygon.from_rect(Rect(i * 320 - 45, -600, i * 320 + 45, 600))
+                 for i in range(3)]
+        bars = insert_srafs(lines)
+        for bar in bars:
+            assert not (0 < bar.bbox.center.x < 640)
+
+    def test_bars_do_not_print(self, sim):
+        line = iso_line()
+        bars = insert_srafs([line])
+        latent = sim.latent_image([line] + bars, Rect(-600, -300, 600, 300))
+        for bar in bars:
+            c = bar.bbox.center
+            assert latent.value_at(c.x, c.y) > sim.resist.threshold
+
+    def test_bars_respect_clearance(self):
+        lines = [iso_line(), Polygon.from_rect(Rect(700, -600, 790, 600))]
+        bars = insert_srafs(lines)
+        for bar in bars:
+            for line in lines:
+                gap = bar.bbox.expanded(99.0)
+                assert not gap.overlaps(line.bbox)
+
+    def test_short_edges_skipped(self):
+        stub = Polygon.from_rect(Rect(0, 0, 90, 150))
+        assert insert_srafs([stub]) == []
+
+
+class TestMrc:
+    def test_clean_mask_passes(self):
+        assert check_mrc([iso_line()]) == []
+
+    def test_sliver_flagged(self):
+        sliver = Polygon.from_rect(Rect(0, 0, 30, 600))
+        violations = check_mrc([sliver])
+        assert violations and violations[0].rule == "mrc.width"
+
+    def test_narrow_gap_flagged(self):
+        a = Polygon.from_rect(Rect(0, 0, 90, 600))
+        b = Polygon.from_rect(Rect(120, 0, 210, 600))
+        violations = check_mrc([a, b])
+        assert any(v.rule == "mrc.space" for v in violations)
+
+    def test_sraf_width_floor(self):
+        bar = Polygon.from_rect(Rect(0, 0, 20, 400))
+        violations = check_mrc([iso_line(width=90)], srafs=[bar])
+        assert any(v.rule == "mrc.sraf_width" for v in violations)
+
+
+class TestOrc:
+    def test_uncorrected_iso_line_fails(self, sim):
+        line = iso_line()
+        report = run_orc(sim, [line], [line])
+        assert not report.clean
+        assert report.rms_epe > 5
+
+    def test_corrected_line_mostly_clean(self, sim):
+        line = iso_line()
+        corrected = apply_model_opc(sim, [line]).polygons
+        report = run_orc(sim, corrected, [line])
+        assert report.rms_epe < 6
+        assert not report.violations_of("open")
+
+    def test_pinch_detected_for_undersized_mask(self, sim):
+        target = iso_line(width=90)
+        skinny = iso_line(width=40)  # mask far too thin: feature necks away
+        report = run_orc(sim, [skinny], [target])
+        kinds = {v.kind for v in report.violations}
+        assert "pinch" in kinds or "open" in kinds
+
+    def test_bridge_detected_between_close_masks(self, sim):
+        # Two lines drawn apart but masks drawn so wide they merge.
+        t1 = Polygon.from_rect(Rect(-135, -600, -45, 600))
+        t2 = Polygon.from_rect(Rect(45, -600, 135, 600))
+        m1 = Polygon.from_rect(Rect(-160, -600, -10, 600))
+        m2 = Polygon.from_rect(Rect(10, -600, 160, 600))
+        report = run_orc(sim, [m1, m2], [t1, t2])
+        assert report.violations_of("bridge")
+
+    def test_empty_targets(self, sim):
+        report = run_orc(sim, [], [])
+        assert report.clean
+
+    def test_report_stats(self, sim):
+        line = iso_line()
+        report = run_orc(sim, [line], [line])
+        assert report.max_epe >= report.rms_epe > 0
+        assert len(report.epes) > 4

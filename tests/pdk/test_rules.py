@@ -1,0 +1,125 @@
+"""Tests for design rules and the geometric DRC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, Rect
+from repro.pdk import DesignRules, Layers, check_min_space, check_min_width
+from repro.pdk.rules import check_enclosure, polygon_min_width, run_drc
+
+
+def rect_poly(x0, y0, x1, y1):
+    return Polygon.from_rect(Rect(x0, y0, x1, y1))
+
+
+class TestPolygonMinWidth:
+    def test_rectangle(self):
+        assert polygon_min_width(rect_poly(0, 0, 90, 600)) == 90
+
+    def test_l_shape_arm_width(self):
+        l = Polygon.from_xy([(0, 0), (400, 0), (400, 100), (100, 100), (100, 400), (0, 400)])
+        assert polygon_min_width(l) == 100
+
+    def test_step_does_not_create_false_thinness(self):
+        # A tall block with a small step; narrowest true chord is 300.
+        stepped = Polygon.from_xy([(0, 0), (500, 0), (500, 100), (600, 100), (600, 400), (0, 400)])
+        assert polygon_min_width(stepped) == pytest.approx(300)
+
+    def test_plus_sign_arm(self):
+        plus = Polygon.from_xy(
+            [(100, 0), (200, 0), (200, 100), (300, 100), (300, 200), (200, 200),
+             (200, 300), (100, 300), (100, 200), (0, 200), (0, 100), (100, 100)]
+        )
+        assert polygon_min_width(plus) == 100
+
+
+class TestMinWidth:
+    def test_passes_at_rule(self):
+        assert check_min_width([rect_poly(0, 0, 90, 600)], 90) == []
+
+    def test_fails_below_rule(self):
+        violations = check_min_width([rect_poly(0, 0, 80, 600)], 90)
+        assert len(violations) == 1
+        assert violations[0].actual == 80
+        assert violations[0].required == 90
+        assert "min_width" in str(violations[0])
+
+    @given(st.integers(10, 200), st.integers(10, 200))
+    def test_flags_iff_below(self, w, h):
+        violations = check_min_width([rect_poly(0, 0, w, h)], 90)
+        assert bool(violations) == (min(w, h) < 90)
+
+
+class TestMinSpace:
+    def test_passes_when_far(self):
+        polys = [rect_poly(0, 0, 90, 600), rect_poly(240, 0, 330, 600)]
+        assert check_min_space(polys, 150) == []
+
+    def test_fails_when_close(self):
+        polys = [rect_poly(0, 0, 90, 600), rect_poly(180, 0, 270, 600)]
+        violations = check_min_space(polys, 150)
+        assert len(violations) == 1
+        assert violations[0].actual == 90
+
+    def test_touching_shapes_exempt(self):
+        polys = [rect_poly(0, 0, 100, 100), rect_poly(100, 0, 200, 100)]
+        assert check_min_space(polys, 150) == []
+
+    def test_diagonal_distance_used(self):
+        polys = [rect_poly(0, 0, 100, 100), rect_poly(130, 130, 200, 200)]
+        violations = check_min_space(polys, 60)
+        assert len(violations) == 1
+        assert violations[0].actual == pytest.approx((30**2 + 30**2) ** 0.5)
+
+    def test_concave_shapes_measure_inner_gap(self):
+        u = Polygon.from_xy([(0, 0), (300, 0), (300, 300), (200, 300), (200, 100),
+                             (100, 100), (100, 300), (0, 300)])
+        pin = rect_poly(130, 180, 170, 300)
+        violations = check_min_space([u, pin], 60)
+        assert len(violations) == 1
+        assert violations[0].actual == pytest.approx(30)
+
+    @given(st.integers(0, 400))
+    def test_flags_iff_gap_below(self, gap):
+        polys = [rect_poly(0, 0, 90, 600), rect_poly(90 + gap, 0, 180 + gap, 600)]
+        violations = check_min_space(polys, 150)
+        assert bool(violations) == (0 < gap < 150)
+
+
+class TestEnclosure:
+    def test_enclosed_ok(self):
+        inner = [rect_poly(40, 40, 150, 150)]
+        outer = [rect_poly(0, 0, 190, 190)]
+        assert check_enclosure(inner, outer, 40) == []
+
+    def test_insufficient_margin(self):
+        inner = [rect_poly(10, 40, 120, 150)]
+        outer = [rect_poly(0, 0, 190, 190)]
+        violations = check_enclosure(inner, outer, 40)
+        assert len(violations) == 1
+        assert violations[0].actual == 10
+
+    def test_orphan_inner_flagged(self):
+        violations = check_enclosure([rect_poly(0, 0, 10, 10)], [], 5)
+        assert len(violations) == 1
+
+
+class TestRunDrc:
+    def test_clean_layout(self):
+        shapes = {
+            Layers.POLY: [rect_poly(0, 0, 90, 600), rect_poly(240, 0, 330, 600)],
+            Layers.METAL1: [rect_poly(0, 0, 120, 1000)],
+        }
+        assert run_drc(shapes, DesignRules()) == []
+
+    def test_dirty_layout_reports_layer_names(self):
+        shapes = {Layers.POLY: [rect_poly(0, 0, 50, 600)]}
+        violations = run_drc(shapes, DesignRules())
+        assert len(violations) == 1
+        assert violations[0].rule == "POLY.width"
+
+    def test_default_rule_tables_populated(self):
+        rules = DesignRules()
+        assert rules.min_width[Layers.POLY] == rules.poly_width
+        assert rules.min_space[Layers.METAL1] == rules.metal1_space

@@ -1,0 +1,100 @@
+"""Tests for technology constants and layer registry."""
+
+import pytest
+
+from repro.pdk import Layers, make_tech_90nm
+
+
+class TestLayers:
+    def test_names(self):
+        assert Layers.name_of(Layers.POLY) == "POLY"
+        assert Layers.name_of(Layers.METAL1) == "METAL1"
+        assert Layers.name_of((99, 7)) == "L99D7"
+
+    def test_variants(self):
+        assert Layers.opc_variant(Layers.POLY) == (10, 1)
+        assert Layers.sraf_variant(Layers.POLY) == (10, 2)
+        assert Layers.printed_variant(Layers.POLY) == (10, 9)
+        assert Layers.POLY_OPC == Layers.opc_variant(Layers.POLY)
+
+
+class TestTechnology:
+    def test_default_node(self):
+        tech = make_tech_90nm()
+        assert tech.node_nm == 90
+        assert tech.gate_length == 90
+
+    def test_litho_derived_quantities(self):
+        litho = make_tech_90nm().litho
+        assert litho.rayleigh_resolution == pytest.approx(0.61 * 193 / 0.65)
+        assert litho.depth_of_focus == pytest.approx(193 / 0.65**2)
+
+    def test_k1_at_min_pitch_is_low_k1_regime(self):
+        tech = make_tech_90nm()
+        k1 = tech.litho.k1_for_pitch(tech.rules.poly_pitch)
+        # Low-k1 lithography: proximity effects are strong but printable.
+        assert 0.3 < k1 < 0.6
+
+    def test_annular_source_defaults(self):
+        litho = make_tech_90nm().litho
+        assert litho.source_type == "annular"
+        assert 0 < litho.sigma_inner < litho.sigma_outer <= 1.0
+
+    def test_device_sensitivity_signs(self):
+        dev = make_tech_90nm().device
+        assert dev.vth0 > 0
+        assert dev.vth_rolloff > 0
+        assert dev.l_min < dev.l_nominal
+        assert dev.vdd > dev.vth0
+
+    def test_frozen(self):
+        tech = make_tech_90nm()
+        with pytest.raises(AttributeError):
+            tech.node_nm = 65
+
+
+class TestTech130:
+    def test_node_constants(self):
+        from repro.pdk import make_tech_130nm
+
+        tech = make_tech_130nm()
+        assert tech.node_nm == 130
+        assert tech.litho.wavelength == 248.0
+        assert 0.5 < tech.litho.k1_for_pitch(tech.rules.poly_pitch) < 0.6
+
+    def test_library_builds_drc_clean(self):
+        from repro.cells import build_library
+        from repro.pdk import make_tech_130nm
+        from repro.pdk.rules import run_drc
+
+        tech = make_tech_130nm()
+        lib = build_library(tech)
+        for cell in lib:
+            shapes = {l: cell.layout.polygons_on(l) for l in cell.layout.layers()}
+            assert run_drc(shapes, tech.rules) == [], cell.name
+
+    def test_anchor_calibrates(self):
+        from repro.litho import LithographySimulator
+        from repro.pdk import make_tech_130nm
+
+        tech = make_tech_130nm()
+        sim = LithographySimulator.for_tech(tech)
+        threshold = sim.calibrate_to_anchor(tech.rules.gate_length,
+                                            tech.rules.poly_pitch)
+        assert 0.2 < threshold < 0.6
+
+    def test_fo4_scales_with_node(self):
+        from repro.cells import build_library
+        from repro.device import AlphaPowerModel
+        from repro.pdk import make_tech_130nm, make_tech_90nm
+        from repro.timing import characterize_library
+
+        def fo4(tech):
+            lib = build_library(tech)
+            liberty = characterize_library(lib, AlphaPowerModel(tech.device))
+            inv = liberty["INV_X1"]
+            load = 4 * inv.capacitance("A")
+            return max(inv.arcs[0].delay_rise.lookup(30, load),
+                       inv.arcs[0].delay_fall.lookup(30, load))
+
+        assert fo4(make_tech_130nm()) > fo4(make_tech_90nm())

@@ -1,0 +1,134 @@
+"""Tests for placement and layout assembly."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import inverter_chain, ripple_carry_adder
+from repro.pdk import Layers, make_tech_90nm
+from repro.place import assemble_layout, instance_gate_rects, place_rows
+from repro.place.assembler import TOP_CELL
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+class TestPlacer:
+    def test_empty_netlist_rejected(self, lib):
+        from repro.circuits import Netlist
+
+        with pytest.raises(ValueError):
+            place_rows(Netlist("empty"), lib)
+
+    def test_all_gates_placed(self, lib):
+        netlist = ripple_carry_adder(4)
+        placement = place_rows(netlist, lib)
+        assert len(placement) == netlist.gate_count
+
+    def test_no_overlaps(self, lib):
+        netlist = ripple_carry_adder(4)
+        placement = place_rows(netlist, lib)
+        placed = list(placement.gates.values())
+        for i, a in enumerate(placed):
+            for b in placed[i + 1:]:
+                assert not a.bbox.overlaps(b.bbox), f"{a.gate_name} overlaps {b.gate_name}"
+
+    def test_cells_inside_die(self, lib):
+        placement = place_rows(ripple_carry_adder(4), lib)
+        for placed in placement.gates.values():
+            assert placement.die.contains_rect(placed.bbox)
+
+    def test_rows_near_square_aspect(self, lib):
+        placement = place_rows(ripple_carry_adder(8), lib, aspect_ratio=1.0)
+        assert placement.rows > 1
+        assert 0.3 < placement.die.width / placement.die.height < 3.0
+
+    def test_single_row_for_tiny_design(self, lib):
+        placement = place_rows(inverter_chain(2), lib)
+        assert placement.rows == 1
+
+    def test_alternate_rows_flipped(self, lib):
+        placement = place_rows(ripple_carry_adder(8), lib)
+        by_row = {}
+        for placed in placement.gates.values():
+            by_row.setdefault(placed.row, placed)
+        assert not by_row[0].transform.mirror_x
+        if 1 in by_row:
+            assert by_row[1].transform.mirror_x
+
+    def test_flip_disabled(self, lib):
+        placement = place_rows(ripple_carry_adder(8), lib, flip_alternate_rows=False)
+        assert all(not p.transform.mirror_x for p in placement.gates.values())
+
+    def test_utilization_full_rows(self, lib):
+        placement = place_rows(inverter_chain(4), lib)
+        assert placement.utilization(lib) == pytest.approx(1.0)
+
+    def test_hpwl_positive_and_local(self, lib):
+        netlist = inverter_chain(10)
+        placement = place_rows(netlist, lib)
+        hpwl = placement.half_perimeter_wirelength(netlist, lib)
+        inv_width = lib["INV_X1"].width
+        # Chain neighbours abut, so each 2-pin net spans about one cell width.
+        assert 0 < hpwl <= 10 * (inv_width + lib.tech.rules.cell_height)
+
+
+class TestAssembler:
+    def test_layout_structure(self, lib):
+        netlist = ripple_carry_adder(2)
+        placement = place_rows(netlist, lib)
+        layout = assemble_layout(netlist, lib, placement)
+        assert TOP_CELL in layout
+        assert len(layout[TOP_CELL].instances) == netlist.gate_count
+        assert [c.name for c in layout.top_cells()] == [TOP_CELL]
+
+    def test_flat_poly_count(self, lib):
+        netlist = inverter_chain(5)
+        placement = place_rows(netlist, lib)
+        layout = assemble_layout(netlist, lib, placement)
+        polys = layout.flat_polygons(TOP_CELL, Layers.POLY)
+        # 5 inverters x (1 stripe + 1 pad).
+        assert len(polys) == 10
+
+    def test_gate_rects_one_per_transistor(self, lib):
+        netlist = ripple_carry_adder(2)
+        placement = place_rows(netlist, lib)
+        rects = instance_gate_rects(netlist, lib, placement)
+        expected = sum(len(lib[g.cell_name].transistors) for g in netlist.gates.values())
+        assert len(rects) == expected
+
+    def test_gate_rects_inside_placed_bbox(self, lib):
+        netlist = ripple_carry_adder(4)
+        placement = place_rows(netlist, lib)
+        rects = instance_gate_rects(netlist, lib, placement)
+        for (gate_name, _), rect in rects.items():
+            assert placement[gate_name].bbox.contains_rect(rect)
+
+    def test_gate_rects_fall_on_poly(self, lib, tech):
+        netlist = inverter_chain(6)
+        placement = place_rows(netlist, lib)
+        layout = assemble_layout(netlist, lib, placement)
+        polys = layout.flat_polygons(TOP_CELL, Layers.POLY)
+        rects = instance_gate_rects(netlist, lib, placement)
+        for rect in rects.values():
+            hosting = [p for p in polys if p.bbox.contains_rect(rect)]
+            assert hosting, f"gate rect {rect} not on any poly shape"
+
+    def test_mirrored_instance_gate_rect_valid(self, lib):
+        netlist = ripple_carry_adder(8)
+        placement = place_rows(netlist, lib)
+        mirrored = [p for p in placement.gates.values() if p.transform.mirror_x]
+        assert mirrored
+        rects = instance_gate_rects(netlist, lib, placement)
+        for placed in mirrored:
+            cell = lib[placed.cell_name]
+            for t in cell.transistors:
+                rect = rects[(placed.gate_name, t.name)]
+                assert rect.width == pytest.approx(t.length)
+                assert rect.height == pytest.approx(t.width)

@@ -1,0 +1,144 @@
+"""Tests for the two-layer maze router."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import c17, inverter_chain, ripple_carry_adder
+from repro.geometry import Point, Rect
+from repro.pdk import make_tech_90nm
+from repro.place import place_rows
+from repro.route import GridRouter, route_design
+from repro.route.router import HORIZONTAL, VERTICAL
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+def connected(cells):
+    """All routed grid cells form one connected component."""
+    cells = set(cells)
+    if not cells:
+        return True
+    seen = {next(iter(cells))}
+    frontier = list(seen)
+    while frontier:
+        layer, row, col = frontier.pop()
+        for cand in [(layer, row, col - 1), (layer, row, col + 1),
+                     (layer, row - 1, col), (layer, row + 1, col),
+                     (1 - layer, row, col)]:
+            if cand in cells and cand not in seen:
+                seen.add(cand)
+                frontier.append(cand)
+    return seen == cells
+
+
+class TestGridRouter:
+    def test_two_terminal_straight(self):
+        router = GridRouter(Rect(0, 0, 3200, 3200), pitch=320)
+        net = router.route_net("n", [Point(0, 0), Point(1600, 0)])
+        assert not net.failed
+        assert net.wirelength_nm == pytest.approx(1600)
+        assert connected(net.cells)
+
+    def test_l_route_uses_via(self):
+        router = GridRouter(Rect(0, 0, 3200, 3200), pitch=320)
+        net = router.route_net("n", [Point(0, 0), Point(1600, 1600)])
+        assert not net.failed
+        assert net.vias >= 1
+        assert net.wirelength_nm == pytest.approx(3200)
+
+    def test_multi_terminal_tree_shares_track(self):
+        router = GridRouter(Rect(0, 0, 6400, 6400), pitch=320)
+        net = router.route_net(
+            "n", [Point(0, 0), Point(3200, 0), Point(1600, 1600)]
+        )
+        assert not net.failed
+        assert connected(net.cells)
+        # A tree, not three point-to-point routes: less than the sum.
+        assert net.wirelength_nm < 3200 + 3200 + 1600
+
+    def test_blocked_net_detours(self):
+        router = GridRouter(Rect(0, 0, 3200, 3200), pitch=320)
+        # Wall off the straight horizontal path with another net.
+        for row in range(router.rows):
+            router.occupancy[(HORIZONTAL, row, 3)] = "wall"
+            router.occupancy[(VERTICAL, row, 3)] = "wall"
+        net = router.route_net("n", [Point(0, 320), Point(3200, 320)])
+        # The wall spans the full die: no path exists at all.
+        assert net.failed
+
+    def test_partial_wall_forces_detour(self):
+        router = GridRouter(Rect(0, 0, 3200, 3200), pitch=320)
+        for row in range(0, router.rows - 2):
+            router.occupancy[(HORIZONTAL, row, 3)] = "wall"
+            router.occupancy[(VERTICAL, row, 3)] = "wall"
+        net = router.route_net("n", [Point(0, 320), Point(3200, 320)])
+        assert not net.failed
+        assert net.wirelength_nm > 3200  # had to go around
+
+    def test_bad_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            GridRouter(Rect(0, 0, 100, 100), pitch=0)
+
+
+class TestRouteDesign:
+    @pytest.fixture(scope="class")
+    def routed_chain(self, lib):
+        netlist = inverter_chain(6)
+        placement = place_rows(netlist, lib)
+        return netlist, placement, route_design(netlist, lib, placement)
+
+    def test_all_internal_nets_routed(self, routed_chain, lib):
+        netlist, _, result = routed_chain
+        assert result.clean
+        # Chain nets w0..w4 plus in0 (one load only -> not routed as 2-pin?
+        # in0 has a single gate pin, so it is out of the multi-terminal set).
+        for i in range(5):
+            assert f"w{i}" in result.nets
+
+    def test_nets_connected_and_disjoint(self, routed_chain):
+        _, _, result = routed_chain
+        seen = {}
+        for name, net in result.nets.items():
+            assert connected(net.cells), name
+            for cell in net.cells:
+                assert seen.setdefault(cell, name) == name, "track overlap"
+
+    def test_routed_length_at_least_hpwl_scale(self, routed_chain, lib):
+        netlist, placement, result = routed_chain
+        assert result.total_wirelength_nm > 0
+        hpwl = placement.half_perimeter_wirelength(netlist, lib)
+        # A routed tree is never shorter than ~half the HPWL scale and
+        # rarely more than a few times it on an uncongested chain.
+        assert 0.2 * hpwl < result.total_wirelength_nm < 6 * hpwl
+
+    def test_c17_routes_clean(self, lib):
+        netlist = c17(lib)
+        placement = place_rows(netlist, lib)
+        result = route_design(netlist, lib, placement)
+        assert result.clean
+        assert result.total_vias > 0
+
+    def test_sta_consumes_routed_lengths(self, lib, tech):
+        from repro.device import AlphaPowerModel
+        from repro.timing import StaEngine, characterize_library
+
+        netlist = ripple_carry_adder(2)
+        placement = place_rows(netlist, lib)
+        result = route_design(netlist, lib, placement)
+        liberty = characterize_library(lib, AlphaPowerModel(tech.device))
+        hpwl_engine = StaEngine(netlist, lib, liberty, placement)
+        routed_engine = StaEngine(netlist, lib, liberty, placement,
+                                  net_lengths=result.net_lengths())
+        d_est = hpwl_engine.run().critical_delay
+        d_routed = routed_engine.run().critical_delay
+        assert d_routed > 0
+        # Routed wires detour: delays shift, same order of magnitude.
+        assert 0.5 * d_est < d_routed < 2.0 * d_est

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow"])
+        assert args.design == "c17"
+        assert args.opc == "rule"
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "--design", "pentium4"])
+
+
+class TestCommands:
+    def test_sta_command(self, capsys):
+        assert main(["sta", "--design", "rca4", "--period", "800", "--paths", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WNS" in out
+        assert "Path to" in out
+
+    def test_liberty_command_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "repro.lib"
+        assert main(["liberty", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("library (")
+        assert "cell (INV_X1)" in text
+
+    def test_gds_command(self, tmp_path, capsys):
+        out_file = tmp_path / "chip.gds"
+        assert main(["gds", "--design", "c17", "--out", str(out_file)]) == 0
+        from repro.gds import read_gds
+
+        layout = read_gds(str(out_file))
+        assert "CHIP" in layout
+        assert "gates" in capsys.readouterr().out

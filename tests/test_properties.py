@@ -1,0 +1,113 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import build_library
+from repro.geometry import Polygon, Rect, fragment_polygon, rebuild_polygon
+from repro.litho import marching_squares, rasterize
+from repro.pdk import make_tech_90nm
+from repro.timing.liberty import TimingTable
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech_90nm())
+
+
+@st.composite
+def rectilinear_polygons(draw):
+    """L/T/rect rectilinear polygons with generous feature sizes."""
+    kind = draw(st.sampled_from(["rect", "l", "t"]))
+    w = draw(st.integers(200, 800))
+    h = draw(st.integers(200, 800))
+    arm = draw(st.integers(100, 190))
+    if kind == "rect":
+        return Polygon.from_rect(Rect(0, 0, w, h))
+    if kind == "l":
+        return Polygon.from_xy([(0, 0), (w, 0), (w, arm), (arm, arm), (arm, h), (0, h)])
+    # T shape
+    return Polygon.from_xy([
+        (0, 0), (w, 0), (w, arm), ((w + arm) // 2, arm),
+        ((w + arm) // 2, h), ((w - arm) // 2, h), ((w - arm) // 2, arm), (0, arm),
+    ])
+
+
+class TestFragmentationInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(rectilinear_polygons())
+    def test_fragment_rebuild_identity(self, poly):
+        assert rebuild_polygon(fragment_polygon(poly)) == poly
+
+    @settings(max_examples=40, deadline=None)
+    @given(rectilinear_polygons(), st.floats(-10, 10))
+    def test_uniform_bias_changes_area_by_perimeter(self, poly, bias):
+        frags = fragment_polygon(poly)
+        for f in frags:
+            f.offset = bias
+        grown = rebuild_polygon(frags)
+        # A = A0 + P*b + 4*corners_correction*b^2; for convex-corner count c
+        # and concave count v: A = A0 + P b + (c - v) b^2.
+        corners = poly.num_vertices
+        expected_min = poly.area + poly.perimeter * bias - corners * bias * bias
+        expected_max = poly.area + poly.perimeter * bias + corners * bias * bias
+        assert expected_min - 1 <= grown.area <= expected_max + 1
+
+
+class TestRasterContourRoundtrip:
+    @settings(max_examples=20, deadline=None)
+    @given(rectilinear_polygons())
+    def test_contour_of_raster_recovers_area(self, poly):
+        region = poly.bbox.expanded(64)
+        grid = rasterize([poly], region, 8.0)
+        # Dark feature: coverage 1 inside. Contour at the 0.5 level.
+        contours = marching_squares(
+            1.0 - grid.data, 0.5, x0=grid.x0, y0=grid.y0, pixel=8.0
+        )
+        total = sum(c.area for c in contours)
+        assert total == pytest.approx(poly.area, rel=0.05)
+
+
+class TestLibertyTableInvariants:
+    axes = st.lists(st.floats(1, 500), min_size=2, max_size=5, unique=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(axes, axes, st.floats(0, 1), st.floats(0, 1))
+    def test_interpolation_within_hull(self, slews, loads, ts, tl):
+        slews = tuple(sorted(slews))
+        loads = tuple(sorted(loads))
+        values = tuple(
+            tuple(10 + 0.1 * s + 2.0 * l for l in loads) for s in slews
+        )
+        table = TimingTable(slews, loads, values)
+        s = slews[0] + ts * (slews[-1] - slews[0])
+        l = loads[0] + tl * (loads[-1] - loads[0])
+        got = table.lookup(s, l)
+        flat = [v for row in values for v in row]
+        assert min(flat) - 1e-9 <= got <= max(flat) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1, 500), st.floats(0.1, 50))
+    def test_linear_function_interpolates_exactly(self, s, l):
+        slews = (1.0, 100.0, 500.0)
+        loads = (0.1, 10.0, 50.0)
+        values = tuple(tuple(3 * si + 7 * li for li in loads) for si in slews)
+        table = TimingTable(slews, loads, values)
+        assert table.lookup(s, l) == pytest.approx(3 * s + 7 * l, rel=1e-9)
+
+
+class TestNetworkStrengthInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(60, 140), st.floats(60, 140))
+    def test_nand_strength_monotone_in_lengths(self, lib, l_a, l_b):
+        nand = lib["NAND2_X1"]
+        nominal = nand.network_strength("n")
+        derated = nand.network_strength("n", {
+            "MN0": (400.0, l_a), "MN1": (400.0, l_b),
+        })
+        if l_a >= 90 and l_b >= 90:
+            assert derated <= nominal + 1e-12
+        if l_a <= 90 and l_b <= 90:
+            assert derated >= nominal - 1e-12

@@ -1,0 +1,159 @@
+"""Tests for NLDM tables and library characterization."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.device import AlphaPowerModel
+from repro.pdk import make_tech_90nm
+from repro.timing import LibertyLibrary, TimingArc, TimingTable, characterize_library
+from repro.timing.characterize import characterize_cell, effective_resistance_kohm
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return AlphaPowerModel(tech.device)
+
+
+@pytest.fixture(scope="module")
+def liberty(lib, model):
+    return characterize_library(lib, model)
+
+
+def simple_table():
+    return TimingTable(
+        slews=(10.0, 20.0),
+        loads=(1.0, 2.0, 4.0),
+        values=((10.0, 20.0, 40.0), (15.0, 25.0, 45.0)),
+    )
+
+
+class TestTimingTable:
+    def test_exact_grid_points(self):
+        t = simple_table()
+        assert t.lookup(10, 1) == 10
+        assert t.lookup(20, 4) == 45
+
+    def test_bilinear_midpoint(self):
+        t = simple_table()
+        assert t.lookup(15, 1.5) == pytest.approx((10 + 20 + 15 + 25) / 4)
+
+    def test_clamps_outside(self):
+        t = simple_table()
+        assert t.lookup(-5, 0.1) == 10
+        assert t.lookup(100, 100) == 45
+
+    def test_scaled(self):
+        t = simple_table().scaled(2.0)
+        assert t.lookup(10, 1) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingTable((), (1.0,), ())
+        with pytest.raises(ValueError):
+            TimingTable((2.0, 1.0), (1.0,), ((1,), (2,)))
+        with pytest.raises(ValueError):
+            TimingTable((1.0, 2.0), (1.0,), ((1,),))
+
+
+class TestTimingArc:
+    def test_unateness_routing(self):
+        t = simple_table()
+        negative = TimingArc("A", "Z", "negative", t, t, t, t)
+        assert negative.output_transitions("rise") == ["fall"]
+        positive = TimingArc("A", "Z", "positive", t, t, t, t)
+        assert positive.output_transitions("rise") == ["rise"]
+        non_unate = TimingArc("A", "Z", "non_unate", t, t, t, t)
+        assert set(non_unate.output_transitions("fall")) == {"rise", "fall"}
+
+    def test_bad_sense(self):
+        t = simple_table()
+        with pytest.raises(ValueError):
+            TimingArc("A", "Z", "sideways", t, t, t, t)
+
+
+class TestCharacterization:
+    def test_all_cells_characterized(self, liberty, lib):
+        assert len(liberty) == len(lib)
+
+    def test_inverter_arc_is_negative_unate(self, liberty):
+        inv = liberty["INV_X1"]
+        (arc,) = inv.arcs
+        assert arc.sense == "negative"
+        assert arc.input_pin == "A"
+
+    def test_xor_arcs_non_unate(self, liberty):
+        xor = liberty["XOR2_X1"]
+        assert all(arc.sense == "non_unate" for arc in xor.arcs)
+
+    def test_delay_increases_with_load(self, liberty):
+        inv = liberty["INV_X1"]
+        table = inv.arcs[0].delay_fall
+        assert table.lookup(30, 8) > table.lookup(30, 2)
+
+    def test_delay_increases_with_slew(self, liberty):
+        inv = liberty["INV_X1"]
+        table = inv.arcs[0].delay_fall
+        assert table.lookup(120, 4) > table.lookup(15, 4)
+
+    def test_bigger_drive_is_faster(self, liberty):
+        d1 = liberty["INV_X1"].arcs[0].delay_fall.lookup(30, 8)
+        d2 = liberty["INV_X2"].arcs[0].delay_fall.lookup(30, 8)
+        assert d2 < d1
+
+    def test_nand_fall_slower_than_inv_fall(self, liberty):
+        # Series NMOS stack: weaker pull-down than the inverter.
+        inv = liberty["INV_X1"].arcs[0].delay_fall.lookup(30, 4)
+        nand = liberty["NAND2_X1"].arcs[0].delay_fall.lookup(30, 4)
+        assert nand > inv
+
+    def test_fo4_delay_in_era_range(self, liberty):
+        """INV_X1 driving 4x its own input cap: the canonical FO4 metric.
+
+        90 nm-era FO4 is ~25-45 ps; the model must land in that decade.
+        """
+        inv = liberty["INV_X1"]
+        fo4_load = 4 * inv.capacitance("A")
+        delay = max(
+            inv.arcs[0].delay_rise.lookup(30, fo4_load),
+            inv.arcs[0].delay_fall.lookup(30, fo4_load),
+        )
+        assert 10 < delay < 80
+
+    def test_input_caps_physical(self, liberty):
+        for name in ("INV_X1", "NAND2_X1", "XOR2_X1"):
+            for cap in liberty[name].input_caps.values():
+                assert 0.3 < cap < 20.0  # fF
+
+    def test_dff_characterization(self, liberty):
+        dff = liberty["DFF_X1"]
+        assert dff.is_sequential
+        assert dff.clock_pin == "CK"
+        assert dff.clk_to_q > 0
+        assert dff.setup_time > 0
+        (arc,) = dff.arcs
+        assert arc.input_pin == "CK"
+
+    def test_effective_resistance_order(self, lib, model):
+        r_inv = effective_resistance_kohm(lib["INV_X1"], "n", model)
+        r_nand = effective_resistance_kohm(lib["NAND2_X1"], "n", model)
+        assert r_nand == pytest.approx(2 * r_inv, rel=0.05)
+
+    def test_duplicate_cell_rejected(self, lib, model):
+        liberty = LibertyLibrary()
+        liberty.add(characterize_cell(lib["INV_X1"], model))
+        with pytest.raises(ValueError):
+            liberty.add(characterize_cell(lib["INV_X1"], model))
+
+    def test_unknown_pin_cap(self, liberty):
+        with pytest.raises(KeyError):
+            liberty["INV_X1"].capacitance("Q")

@@ -1,0 +1,95 @@
+"""Tests for the timing report writer and Liberty emission."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import inverter_chain, ripple_carry_adder
+from repro.device import AlphaPowerModel
+from repro.pdk import make_tech_90nm
+from repro.timing import (
+    StaEngine,
+    TimingConstraints,
+    characterize_library,
+    report_summary,
+    report_timing,
+    write_liberty,
+)
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+@pytest.fixture(scope="module")
+def liberty(lib, tech):
+    return characterize_library(lib, AlphaPowerModel(tech.device))
+
+
+class TestReportTiming:
+    def test_contains_path_structure(self, lib, liberty):
+        netlist = inverter_chain(3)
+        engine = StaEngine(netlist, lib, liberty)
+        text = report_timing(engine.run(TimingConstraints(clock_period_ps=300)),
+                             k=1, netlist=netlist)
+        assert "Path to out" in text
+        assert "inv0 (INV_X1)/w0" in text
+        assert "slack:" in text
+        assert "MET" in text
+
+    def test_violated_marker(self, lib, liberty):
+        engine = StaEngine(ripple_carry_adder(4), lib, liberty)
+        text = report_timing(engine.run(TimingConstraints(clock_period_ps=10)), k=1)
+        assert "VIOLATED" in text
+
+    def test_k_blocks(self, lib, liberty):
+        engine = StaEngine(ripple_carry_adder(2), lib, liberty)
+        text = report_timing(engine.run(), k=3)
+        assert text.count("Path to") == 3
+
+    def test_summary(self, lib, liberty):
+        engine = StaEngine(ripple_carry_adder(2), lib, liberty)
+        summary = report_summary(engine.run(TimingConstraints(clock_period_ps=10)))
+        assert "WNS" in summary
+        assert "endpoints failing" in summary
+
+
+class TestLibertyWriter:
+    @pytest.fixture(scope="class")
+    def text(self, liberty):
+        return write_liberty(liberty)
+
+    def test_header(self, text):
+        assert text.startswith("library (repro90_typ) {")
+        assert 'time_unit : "1ps";' in text
+        assert "lu_table_template (delay_template)" in text
+
+    def test_every_cell_present(self, text, liberty):
+        for name in liberty.cells:
+            assert f"cell ({name}) {{" in text
+
+    def test_arcs_and_tables(self, text):
+        assert 'related_pin : "A";' in text
+        assert "cell_rise (delay_template)" in text
+        assert "fall_transition (delay_template)" in text
+
+    def test_sequential_cell_has_ff_group(self, text):
+        assert 'ff (IQ, IQN) { clocked_on : "CK"; next_state : "D"; }' in text
+        assert "clock : true;" in text
+
+    def test_braces_balanced(self, text):
+        assert text.count("{") == text.count("}")
+
+    def test_numeric_tables_parse(self, text):
+        # Every values(...) row must be a quoted list of floats.
+        import re
+
+        for match in re.finditer(r'values \(([^;]*)\);', text):
+            for quoted in re.findall(r'"([^"]+)"', match.group(1)):
+                for token in quoted.split(","):
+                    float(token)

@@ -1,0 +1,111 @@
+"""Tests for LER injection and process-window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.litho import LithographySimulator, bossung_data, extract_process_window
+from repro.litho.window import BossungData, ProcessWindow
+from repro.metrology.gate_cd import GateCdMeasurement
+from repro.pdk import make_tech_90nm
+from repro.variation import apply_ler
+
+
+def make_measurement(key_cd=90.0, n=5):
+    m = GateCdMeasurement(gate_rect=Rect(0, 0, 90, 400), drawn_cd=90)
+    m.slice_positions = [20.0 + 90 * i for i in range(n)]
+    m.slice_cds = [key_cd] * n
+    return m
+
+
+class TestLer:
+    def test_noise_statistics(self):
+        base = {i: make_measurement() for i in range(100)}
+        noisy = apply_ler(base, sigma_nm=2.0, seed=1)
+        deltas = np.array([
+            cd - 90.0 for m in noisy.values() for cd in m.slice_cds
+        ])
+        assert abs(deltas.mean()) < 0.3
+        assert deltas.std() == pytest.approx(2.0 * 2 ** 0.5, rel=0.15)
+
+    def test_originals_untouched(self):
+        base = {0: make_measurement()}
+        apply_ler(base, sigma_nm=3.0)
+        assert base[0].slice_cds == [90.0] * 5
+
+    def test_seeded_reproducible(self):
+        base = {0: make_measurement()}
+        a = apply_ler(base, sigma_nm=2.0, seed=9)
+        b = apply_ler(base, sigma_nm=2.0, seed=9)
+        assert a[0].slice_cds == b[0].slice_cds
+
+    def test_open_slices_stay_open(self):
+        m = make_measurement()
+        m.slice_cds[2] = 0.0
+        noisy = apply_ler({0: m}, sigma_nm=2.0)
+        assert noisy[0].slice_cds[2] == 0.0
+
+    def test_zero_sigma_identity(self):
+        base = {0: make_measurement()}
+        noisy = apply_ler(base, sigma_nm=0.0)
+        assert noisy[0].slice_cds == base[0].slice_cds
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            apply_ler({}, sigma_nm=-1.0)
+
+
+class TestProcessWindow:
+    @pytest.fixture(scope="class")
+    def data(self):
+        tech = make_tech_90nm()
+        sim = LithographySimulator.for_tech(tech)
+        sim.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+        return bossung_data(
+            sim, 90.0, 320.0,
+            doses=(0.94, 0.97, 1.0, 1.03, 1.06),
+            defoci=(0.0, 150.0, 300.0),
+        )
+
+    def test_grid_complete(self, data):
+        assert len(data.cd) == 15
+        assert data.doses() == [0.94, 0.97, 1.0, 1.03, 1.06]
+
+    def test_nominal_on_target(self, data):
+        assert data.cd[(1.0, 0.0)] == pytest.approx(90, abs=1.5)
+
+    def test_bossung_curve_monotone_in_dose(self, data):
+        curve = data.curve_at_defocus(0.0)
+        cds = [cd for _, cd in curve]
+        assert cds == sorted(cds, reverse=True)  # dark line thins with dose
+
+    def test_window_extraction(self, data):
+        window = extract_process_window(data, cd_tolerance_fraction=0.1)
+        assert 0.0 in window.latitude
+        lo, hi = window.latitude[0.0]
+        assert lo < 1.0 < hi
+        assert window.exposure_latitude_percent(0.0) > 2.0
+
+    def test_latitude_shrinks_with_defocus(self, data):
+        window = extract_process_window(data, cd_tolerance_fraction=0.1)
+        el0 = window.exposure_latitude_percent(0.0)
+        el300 = window.exposure_latitude_percent(300.0)
+        assert el300 < el0
+
+    def test_depth_of_focus(self, data):
+        window = extract_process_window(data, cd_tolerance_fraction=0.1)
+        dof = window.depth_of_focus(min_latitude_percent=2.0)
+        assert dof in (0.0, 150.0, 300.0)
+        assert dof >= 150.0  # the anchor has usable focus budget
+
+    def test_synthetic_window(self):
+        data = BossungData(line_width=100, pitch=300)
+        for dose in (0.9, 1.0, 1.1):
+            for z in (0.0, 100.0):
+                # CD shrinks 100 nm per dose unit, plus defocus penalty.
+                data.cd[(dose, z)] = 100 - (dose - 1.0) * 100 - (z / 100) * 6
+        # 0.101: the extreme doses sit exactly on the 10% boundary and
+        # float rounding must not drop them.
+        window = extract_process_window(data, cd_tolerance_fraction=0.101)
+        assert window.latitude[0.0] == (0.9, 1.1)
+        assert window.exposure_latitude_percent(0.0) == pytest.approx(20.0)

@@ -1,0 +1,48 @@
+"""Tests for across-chip dose/defocus maps."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.variation import DoseDefocusMap, condition_at, uniform_map
+
+
+DIE = Rect(0, 0, 20000, 10000)
+
+
+class TestDoseDefocusMap:
+    def test_bounded_by_amplitude(self):
+        m = DoseDefocusMap(DIE, dose_amplitude=0.05, defocus_amplitude_nm=100)
+        for x in range(0, 20001, 2500):
+            for y in range(0, 10001, 2500):
+                assert abs(m.dose_at(x, y) - 1.0) <= 0.05 + 1e-12
+                assert abs(m.defocus_at(x, y)) <= 100 + 1e-9
+
+    def test_smooth_at_small_scale(self):
+        m = DoseDefocusMap(DIE)
+        a = m.dose_at(5000, 5000)
+        b = m.dose_at(5050, 5000)
+        assert abs(a - b) < 1e-3  # 50 nm apart: essentially identical
+
+    def test_varies_across_die(self):
+        m = DoseDefocusMap(DIE, seed=3)
+        values = {round(m.dose_at(x, 3000), 6) for x in range(0, 20001, 4000)}
+        assert len(values) > 1
+
+    def test_seeded_reproducible(self):
+        a = DoseDefocusMap(DIE, seed=7)
+        b = DoseDefocusMap(DIE, seed=7)
+        assert a.dose_at(1234, 5678) == b.dose_at(1234, 5678)
+        c = DoseDefocusMap(DIE, seed=8)
+        assert a.dose_at(1234, 5678) != c.dose_at(1234, 5678)
+
+    def test_condition_at(self):
+        m = DoseDefocusMap(DIE)
+        cond = condition_at(m, Rect(1000, 1000, 1100, 1100))
+        assert cond.dose == pytest.approx(m.dose_at(1050, 1050))
+        assert cond.defocus_nm == pytest.approx(m.defocus_at(1050, 1050))
+
+    def test_uniform_map(self):
+        m = uniform_map(DIE, dose=1.05, defocus_nm=150)
+        assert m.dose_at(0, 0) == 1.05
+        assert m.dose_at(19999, 9999) == 1.05
+        assert m.defocus_at(5, 5) == 150
