@@ -50,16 +50,46 @@ def cmd_flow(args) -> int:
     tech = make_tech_90nm()
     library = build_library(tech)
     netlist = _make_design(args.design, library)
-    flow = PostOpcTimingFlow(netlist, tech, cells=library)
-    period = args.period or 1.05 * flow.engine.run().critical_delay
-    report = flow.run(FlowConfig(opc_mode=args.opc, clock_period_ps=period,
+    flow = PostOpcTimingFlow(netlist, tech, cells=library, jobs=args.jobs)
+    # clock_period_ps=None derives the period from the flow's own drawn-STA
+    # stage (one STA, served from the artifact cache — not a warm-up run).
+    report = flow.run(FlowConfig(opc_mode=args.opc, clock_period_ps=args.period,
                                  n_critical_paths=args.paths))
     print(report.summary())
+    if args.trace:
+        report.trace.write_json(args.trace)
+        print(f"wrote trace {args.trace}")
     if args.gds:
         from repro.flow import export_flow_gds
 
         export_flow_gds(flow, report, args.gds)
         print(f"wrote {args.gds}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.flow import FlowConfig, FlowSweep, PostOpcTimingFlow
+
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    netlist = _make_design(args.design, library)
+    flow = PostOpcTimingFlow(netlist, tech, cells=library, jobs=args.jobs)
+    result = FlowSweep(flow).run(FlowConfig(
+        opc_mode="none", clock_period_ps=args.period,
+        n_critical_paths=args.paths,
+    ))
+    print(result.table())
+    print(f"context: {result.cache_summary()}")
+    if args.trace:
+        import json
+
+        payload = {mode: report.trace.as_dict()
+                   for mode, report in result.reports.items()}
+        payload["context"] = flow.context.stats()
+        with open(args.trace, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote trace {args.trace}")
     return 0
 
 
@@ -141,10 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--design", default="c17", choices=sorted(DESIGNS))
     flow.add_argument("--opc", default="rule",
                       choices=["none", "rule", "model", "selective"])
-    flow.add_argument("--period", type=float, default=None, help="clock period (ps)")
+    flow.add_argument("--period", type=float, default=None,
+                      help="clock period (ps); default derives it from the drawn STA")
     flow.add_argument("--paths", type=int, default=5)
+    flow.add_argument("--jobs", type=int, default=1,
+                      help="parallel workers for the OPC/metrology tile loops")
+    flow.add_argument("--trace", default=None,
+                      help="write the per-stage trace (wall time, cache, counters) as JSON")
     flow.add_argument("--gds", default=None, help="also export layers to this GDS file")
     flow.set_defaults(func=cmd_flow)
+
+    sweep = sub.add_parser(
+        "sweep", help="run all OPC modes through one shared flow context"
+    )
+    sweep.add_argument("--design", default="c17", choices=sorted(DESIGNS))
+    sweep.add_argument("--period", type=float, default=None,
+                       help="clock period (ps); default derives it from the drawn STA")
+    sweep.add_argument("--paths", type=int, default=5)
+    sweep.add_argument("--jobs", type=int, default=1)
+    sweep.add_argument("--trace", default=None,
+                       help="write per-mode traces + context stats as JSON")
+    sweep.set_defaults(func=cmd_sweep)
 
     sta = sub.add_parser("sta", help="drawn-CD timing report")
     sta.add_argument("--design", default="c17", choices=sorted(DESIGNS))

@@ -82,11 +82,21 @@ def flow_report_markdown(report) -> str:
             "",
         ]
         lines += [f"* `{g}`" for g in sorted(report.failed_gates)]
+    trace = getattr(report, "trace", None)
+    if trace is not None and len(trace):
+        stage_text = ", ".join(
+            f"{r.name} {r.wall_s:.1f}s" + (" (cached)" if r.cache_hit else "")
+            for r in trace
+        )
+        cache_text = f" — {trace.cache_hits} stages served from cache" \
+            if trace.cache_hits else ""
+    else:
+        stage_text = ", ".join(f"{k} {v:.1f}s" for k, v in report.runtimes.items())
+        cache_text = ""
     lines += [
         "",
         "---",
-        "*stage runtimes:* "
-        + ", ".join(f"{k} {v:.1f}s" for k, v in report.runtimes.items()),
+        f"*stage runtimes:* {stage_text}{cache_text}",
         "",
     ]
     return "\n".join(lines)

@@ -1,6 +1,39 @@
-"""The paper's end-to-end flow: netlist to post-OPC back-annotated timing."""
+"""The paper's end-to-end flow: netlist to post-OPC back-annotated timing.
 
+The flow is a stage graph (:mod:`repro.flow.stages`) over a
+content-addressed artifact cache (:mod:`repro.flow.context`), with the
+tile-parallel inner loops dispatched by :mod:`repro.flow.parallel` and
+per-stage observability in :mod:`repro.flow.trace`.
+:class:`PostOpcTimingFlow` assembles the default graph;
+:class:`FlowSweep` runs many OPC modes against one shared context.
+"""
+
+from repro.flow.context import FlowContext, stable_hash
+from repro.flow.parallel import ParallelExecutor, split_chunks
 from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
+from repro.flow.stages import (
+    FlowStage,
+    StageGraph,
+    default_stage_graph,
+)
+from repro.flow.sweep import FlowSweep, SweepResult
+from repro.flow.trace import FlowTrace, StageRecord
 from repro.flow.export import export_flow_gds
 
-__all__ = ["FlowConfig", "FlowReport", "PostOpcTimingFlow", "export_flow_gds"]
+__all__ = [
+    "FlowConfig",
+    "FlowReport",
+    "PostOpcTimingFlow",
+    "FlowContext",
+    "FlowTrace",
+    "StageRecord",
+    "FlowStage",
+    "StageGraph",
+    "default_stage_graph",
+    "ParallelExecutor",
+    "split_chunks",
+    "FlowSweep",
+    "SweepResult",
+    "stable_hash",
+    "export_flow_gds",
+]

@@ -1,0 +1,126 @@
+"""Content-addressed artifact store shared between flow runs.
+
+Each stage of the flow graph hashes the *slice* of the configuration that
+can change its output (plus the keys of its upstream stages, Merkle
+style) into an artifact key.  Two runs whose configs agree on a stage's
+slice share that stage's artifacts: a ``selective``-mode run re-uses the
+placement, drawn-STA and rule-OPC products of an earlier ``rule``-mode
+run, and a process-corner sweep re-uses everything upstream of
+lithography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, List, Mapping, Set, Tuple
+
+#: sentinel distinguishing "no entry" from a stored None
+MISSING = object()
+
+
+def _feed(obj: Any, out: List[str]) -> None:
+    """Append a canonical token stream for ``obj`` (order-stable)."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        out.append(f"{type(obj).__name__}:{obj!r}")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(f"@{type(obj).__qualname__}(")
+        for f in fields(obj):
+            out.append(f.name + "=")
+            _feed(getattr(obj, f.name), out)
+        out.append(")")
+    elif isinstance(obj, (tuple, list)):
+        out.append("[")
+        for item in obj:
+            _feed(item, out)
+        out.append("]")
+    elif isinstance(obj, Mapping):
+        out.append("{")
+        for key in sorted(obj, key=repr):
+            _feed(key, out)
+            out.append(":")
+            _feed(obj[key], out)
+        out.append("}")
+    elif isinstance(obj, (set, frozenset)):
+        out.append("<")
+        for token in sorted(repr(item) for item in obj):
+            out.append(token)
+        out.append(">")
+    else:
+        # Fallback: the repr.  Fine for value-like objects; objects with
+        # default (address-bearing) reprs should not appear in config slices.
+        out.append(repr(obj))
+
+
+def stable_hash(obj: Any) -> str:
+    """Deterministic content hash of a (nested) config structure.
+
+    Handles scalars, strings, tuples/lists, mappings, sets, and
+    dataclasses recursively; stable across processes and sessions (no
+    reliance on ``hash()``).
+    """
+    tokens: List[str] = []
+    _feed(obj, tokens)
+    digest = hashlib.sha256("\x1f".join(tokens).encode("utf-8", "replace"))
+    return digest.hexdigest()[:20]
+
+
+class FlowContext:
+    """Keyed artifact store with per-stage hit/miss accounting.
+
+    One context can back many runs (and many :class:`PostOpcTimingFlow`
+    objects — keys embed the flow's netlist/technology fingerprint, so
+    different designs never collide).
+    """
+
+    def __init__(self):
+        self._artifacts: Dict[str, Any] = {}
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._artifacts
+
+    def lookup(self, key: str) -> Any:
+        """The stored artifact, or :data:`MISSING`."""
+        return self._artifacts.get(key, MISSING)
+
+    def store(self, key: str, value: Any) -> None:
+        self._artifacts[key] = value
+
+    def count_hit(self, stage: str) -> None:
+        self.hits[stage] = self.hits.get(stage, 0) + 1
+
+    def count_miss(self, stage: str) -> None:
+        self.misses[stage] = self.misses.get(stage, 0) + 1
+
+    def memo(self, stage: str, key: str, compute: Callable[[], Any]) -> Any:
+        """Compute-once helper for intra-stage shared work (e.g. the
+        rule-OPC base mask shared by the rule/model/selective modes)."""
+        value = self.lookup(key)
+        if value is not MISSING:
+            self.count_hit(stage)
+            return value
+        self.count_miss(stage)
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def stats(self) -> Dict[str, object]:
+        stages: Set[str] = set(self.hits) | set(self.misses)
+        return {
+            "entries": len(self._artifacts),
+            "stages": {
+                name: {"hits": self.hits.get(name, 0), "misses": self.misses.get(name, 0)}
+                for name in sorted(stages)
+            },
+        }
+
+    def summary(self) -> str:
+        parts = []
+        for name, counts in self.stats()["stages"].items():
+            parts.append(f"{name} {counts['hits']}h/{counts['misses']}m")
+        return f"{len(self._artifacts)} artifacts; " + ", ".join(parts)

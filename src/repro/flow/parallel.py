@@ -1,0 +1,102 @@
+"""Work distribution for the flow's embarrassingly-parallel inner loops.
+
+The two hot loops — model-OPC tile correction and per-tile gate
+metrology — are expressed as work-lists of picklable tasks and dispatched
+through a :class:`ParallelExecutor`.  Backends:
+
+* ``serial``  — plain loop in the calling process (the default, and the
+  reference the others must match bit-for-bit);
+* ``thread``  — a thread pool; shares the caller's simulator (and its
+  SOCS kernel cache) without pickling;
+* ``process`` — a process pool; tasks are chunked so each worker unpickles
+  the simulator once and builds its SOCS kernel cache once, then streams
+  through its whole chunk.
+
+Results are returned in task order regardless of backend, so parallel
+runs are numerically identical to serial ones.  Consumers below the flow
+layer (metrology, OPC) accept an executor by duck type only — they never
+import this module, preserving the bottom-up layering.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, List, Sequence, Tuple
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def split_chunks(items: Sequence[Any], n: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``n`` contiguous, balanced chunks."""
+    items = list(items)
+    n = max(1, min(n, len(items)))
+    base, extra = divmod(len(items), n)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return [c for c in chunks if c]
+
+
+class ParallelExecutor:
+    """Maps a chunk worker over a task list with a configurable backend."""
+
+    def __init__(self, backend: str = "serial", jobs: int = 1):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.backend = backend
+        self.jobs = jobs
+
+    @staticmethod
+    def from_jobs(jobs: int) -> "ParallelExecutor":
+        """The natural executor for a ``--jobs N`` knob."""
+        if jobs <= 1:
+            return ParallelExecutor("serial", 1)
+        return ParallelExecutor("process", jobs)
+
+    def __repr__(self):
+        return f"ParallelExecutor(backend={self.backend!r}, jobs={self.jobs})"
+
+    # -- dispatch -----------------------------------------------------------
+
+    def map_chunks(
+        self,
+        worker: Callable[[Tuple[Any, List[Any]]], List[Any]],
+        shared: Any,
+        tasks: Sequence[Any],
+    ) -> List[Any]:
+        """Run ``worker((shared, chunk))`` over chunks of ``tasks``.
+
+        ``worker`` must be a module-level (picklable) callable returning one
+        result per task, in order; ``shared`` is the per-chunk payload
+        (typically the simulator) shipped once per worker.  The flattened,
+        task-ordered result list is returned.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.backend == "serial" or self.jobs == 1 or len(tasks) == 1:
+            return list(worker((shared, tasks)))
+
+        chunks = split_chunks(tasks, self.jobs)
+        payloads = [(shared, chunk) for chunk in chunks]
+        if self.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                chunk_results = list(pool.map(worker, payloads))
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context
+            ) as pool:
+                chunk_results = list(pool.map(worker, payloads))
+        return [result for chunk in chunk_results for result in chunk]

@@ -11,11 +11,17 @@ Pipeline (Yang/Capodieci/Sylvester, DAC 2005):
    per-instance derates,
 6. re-run STA and compare: speed-path reordering, worst-slack change,
    leakage change.
+
+:class:`PostOpcTimingFlow` is a facade over the stage graph in
+:mod:`repro.flow.stages`: stages are cached in a
+:class:`~repro.flow.context.FlowContext` (re-running with a different OPC
+mode re-uses placement, drawn STA and the rule-OPC base), the tile loops
+parallelize through a :class:`~repro.flow.parallel.ParallelExecutor`, and
+every run carries a :class:`~repro.flow.trace.FlowTrace`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -23,29 +29,32 @@ from repro.analysis import RankComparison, compare_rankings
 from repro.cells import CellLibrary, build_library
 from repro.circuits import Netlist
 from repro.device import AlphaPowerModel
+from repro.flow.context import FlowContext, stable_hash
+from repro.flow.parallel import ParallelExecutor
+from repro.flow.stages import StageGraph, default_stage_graph
+from repro.flow.trace import FlowTrace
 from repro.geometry import Polygon, Rect
 from repro.litho.resist import NOMINAL, ProcessCondition
 from repro.litho.simulator import LithographySimulator
-from repro.metrology import CdStatistics, measure_layout_gate_cds, summarize_cds
+from repro.metrology import CdStatistics, summarize_cds
 from repro.metrology.gate_cd import GateCdMeasurement
-from repro.opc import ModelOpcRecipe, RuleOpcRecipe, apply_model_opc, apply_rule_opc
+from repro.opc import ModelOpcRecipe, OpcTileTask, RuleOpcRecipe, apply_rule_opc
+from repro.opc.model_based import correct_tile_chunk
 from repro.pdk import Layers, Technology
 from repro.place import Placement, instance_gate_rects, place_rows
 from repro.timing import (
-    InstanceDerate,
     StaEngine,
     StaResult,
-    TimingConstraints,
     TimingPath,
     characterize_library,
-    derates_from_measurements,
-    instance_leakage,
-    run_hold,
     top_paths,
 )
 from repro.variation import DoseDefocusMap
 
 OPC_MODES = ("none", "rule", "model", "selective")
+
+#: auto-derived clock periods get this margin on the drawn critical delay
+AUTO_PERIOD_MARGIN = 1.05
 
 
 @dataclass(frozen=True)
@@ -53,7 +62,8 @@ class FlowConfig:
     """Knobs of one flow run."""
 
     opc_mode: str = "model"
-    clock_period_ps: float = 1000.0
+    #: None derives the period from the drawn STA (margin on critical delay)
+    clock_period_ps: Optional[float] = 1000.0
     n_critical_paths: int = 5
     n_slices: int = 5
     condition: ProcessCondition = NOMINAL
@@ -68,6 +78,8 @@ class FlowConfig:
     def __post_init__(self):
         if self.opc_mode not in OPC_MODES:
             raise ValueError(f"opc_mode must be one of {OPC_MODES}")
+        if self.clock_period_ps is not None and self.clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive (or None for auto)")
 
 
 @dataclass
@@ -92,7 +104,13 @@ class FlowReport:
     #: worst register hold slack before/after back-annotation (inf if no regs)
     hold_drawn: float = float("inf")
     hold_post: float = float("inf")
-    runtimes: Dict[str, float] = field(default_factory=dict)
+    #: per-stage wall time, cache hits and counters for this run
+    trace: FlowTrace = field(default_factory=FlowTrace)
+
+    @property
+    def runtimes(self) -> Dict[str, float]:
+        """Stage name -> wall seconds (compatibility view of the trace)."""
+        return self.trace.runtimes()
 
     @property
     def wns_drawn(self) -> float:
@@ -136,8 +154,10 @@ class PostOpcTimingFlow:
     """Reusable flow bound to one netlist + technology.
 
     Construction performs the technology-setup work once (library build,
-    characterization, litho calibration, placement); :meth:`run` executes
-    the per-configuration pipeline.
+    characterization, litho calibration); :meth:`run` executes the stage
+    graph, re-using artifacts from :attr:`context` wherever a stage's
+    config slice and upstream inputs are unchanged.  ``jobs > 1`` (or an
+    explicit ``executor``) parallelizes the OPC and metrology tile loops.
     """
 
     def __init__(
@@ -146,6 +166,10 @@ class PostOpcTimingFlow:
         tech: Technology,
         cells: Optional[CellLibrary] = None,
         simulator: Optional[LithographySimulator] = None,
+        jobs: int = 1,
+        executor: Optional[ParallelExecutor] = None,
+        context: Optional[FlowContext] = None,
+        graph: Optional[StageGraph] = None,
     ):
         self.netlist = netlist
         self.tech = tech
@@ -154,11 +178,80 @@ class PostOpcTimingFlow:
         self.liberty = characterize_library(self.cells, self.model)
         self.simulator = simulator or LithographySimulator.for_tech(tech)
         self.simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
-        self.placement: Placement = place_rows(netlist, self.cells)
-        self.engine = StaEngine(netlist, self.cells, self.liberty, self.placement)
-        self.gate_rects = instance_gate_rects(netlist, self.cells, self.placement)
-        self.owned_polygons = self._collect_poly_layer()
+        self.executor = executor or ParallelExecutor.from_jobs(jobs)
+        self.context = context or FlowContext()
+        self.graph = graph or default_stage_graph()
+        self.fingerprint = self._fingerprint()
+        self._placement: Optional[Placement] = None
+        self._gate_rects = None
+        self._owned_polygons: Optional[List[Tuple[str, Polygon]]] = None
+        self._engine: Optional[StaEngine] = None
         self._routed_engine: Optional[StaEngine] = None
+
+    def _fingerprint(self) -> str:
+        """Content hash of everything that defines this flow's artifacts:
+        the netlist structure, the technology, and the calibrated
+        simulator setup.  Embedded in every cache key, so one shared
+        :class:`FlowContext` can serve many designs without collisions."""
+        gates = tuple(sorted(
+            (g.name, g.cell_name, tuple(sorted(g.connections.items())))
+            for g in self.netlist.gates.values()
+        ))
+        return stable_hash((
+            self.netlist.name,
+            tuple(self.netlist.inputs),
+            tuple(self.netlist.outputs),
+            gates,
+            self.tech,
+            self.simulator.settings,
+            self.simulator.resist,
+            self.simulator.ambit,
+            self.simulator.max_tile_px,
+        ))
+
+    # -- layout artifacts (computed by PlaceStage, cached on the flow) ------
+
+    def _build_layout(self) -> Dict[str, object]:
+        if self._placement is None:
+            self._placement = place_rows(self.netlist, self.cells)
+            self._gate_rects = instance_gate_rects(
+                self.netlist, self.cells, self._placement
+            )
+            self._owned_polygons = self._collect_poly_layer(self._placement)
+        return {
+            "placement": self._placement,
+            "gate_rects": self._gate_rects,
+            "owned_polygons": self._owned_polygons,
+        }
+
+    def _install_layout(self, outputs: Dict[str, object]) -> None:
+        if self._placement is None:
+            self._placement = outputs["placement"]
+            self._gate_rects = outputs["gate_rects"]
+            self._owned_polygons = outputs["owned_polygons"]
+
+    @property
+    def placement(self) -> Placement:
+        self._build_layout()
+        return self._placement
+
+    @property
+    def gate_rects(self):
+        self._build_layout()
+        return self._gate_rects
+
+    @property
+    def owned_polygons(self) -> List[Tuple[str, Polygon]]:
+        self._build_layout()
+        return self._owned_polygons
+
+    @property
+    def engine(self) -> StaEngine:
+        if self._engine is None:
+            self._engine = StaEngine(
+                self.netlist, self.cells, self.liberty, self.placement
+            )
+        return self._engine
 
     def _engine_for(self, config: "FlowConfig") -> StaEngine:
         if not config.use_routing:
@@ -173,11 +266,11 @@ class PostOpcTimingFlow:
             )
         return self._routed_engine
 
-    def _collect_poly_layer(self) -> List[Tuple[str, Polygon]]:
+    def _collect_poly_layer(self, placement: Placement) -> List[Tuple[str, Polygon]]:
         """Flat poly shapes, tagged with the owning gate instance."""
         owned: List[Tuple[str, Polygon]] = []
-        for gate_name in sorted(self.placement.gates):
-            placed = self.placement.gates[gate_name]
+        for gate_name in sorted(placement.gates):
+            placed = placement.gates[gate_name]
             cell = self.cells[placed.cell_name]
             for poly in cell.layout.polygons_on(Layers.POLY):
                 owned.append((gate_name, placed.transform.apply_polygon(poly)))
@@ -194,27 +287,39 @@ class PostOpcTimingFlow:
         return critical
 
     def apply_opc(
-        self, config: FlowConfig, critical_gates: Set[str]
+        self,
+        config: FlowConfig,
+        critical_gates: Set[str],
+        counters: Optional[Dict[str, float]] = None,
+        context: Optional[FlowContext] = None,
     ) -> Tuple[List[Polygon], int]:
         """Mask synthesis per the configured mode.
 
-        Returns (mask polygons, count of model-corrected polygons).
+        Returns (mask polygons, count of model-corrected polygons).  The
+        rule-OPC base mask is memoized in the context, so the rule, model
+        and selective modes all share one rule-OPC pass.
         """
+        context = context if context is not None else self.context
         owners = [owner for owner, _ in self.owned_polygons]
         drawn = [poly for _, poly in self.owned_polygons]
-        rule_recipe = config.rule_recipe or RuleOpcRecipe.for_tech(self.tech)
+        if counters is not None:
+            counters["polygons"] = len(drawn)
         if config.opc_mode == "none":
             return list(drawn), 0
+        rule_recipe = config.rule_recipe or RuleOpcRecipe.for_tech(self.tech)
+        base_key = stable_hash((self.fingerprint, "opc.rule_base", rule_recipe))
+        base = context.memo(
+            "opc.rule_base", base_key, lambda: apply_rule_opc(drawn, rule_recipe)
+        )
         if config.opc_mode == "rule":
-            return apply_rule_opc(drawn, rule_recipe), 0
+            return list(base), 0
         if config.opc_mode == "model":
             selected = set(owners)
         else:  # selective
             selected = critical_gates
-        base = apply_rule_opc(drawn, rule_recipe)
-        mask = list(base)
         indices = [i for i, owner in enumerate(owners) if owner in selected]
-        corrected = self._model_opc_tiled(drawn, mask, indices, config)
+        corrected = self._model_opc_tiled(drawn, list(base), indices, config,
+                                          counters=counters)
         return corrected, len(indices)
 
     def _model_opc_tiled(
@@ -223,25 +328,29 @@ class PostOpcTimingFlow:
         mask: List[Polygon],
         target_indices: Sequence[int],
         config: FlowConfig,
+        counters: Optional[Dict[str, float]] = None,
     ) -> List[Polygon]:
         """Model-OPC the selected polygons tile by tile.
 
         Tiles follow the simulator's tiling of the die; each tile corrects
-        the targets whose center falls in its interior, with everything
-        else in the window as fixed context.
+        the targets whose center falls in its interior.  All tiles see the
+        same fixed context — the ``mask`` snapshot handed in (rule-OPC
+        output for everything not being corrected here) — so tiles are
+        independent and serial/parallel execution is bit-identical.
         """
         if not target_indices:
             return mask
         die = self.placement.die.expanded(self.tech.rules.poly_endcap)
-        pending = set(target_indices)
-        tile_span = (
-            self.simulator.max_tile_px * self.simulator.settings.pixel_nm
-            - 2 * self.simulator.ambit
-        )
-        if tile_span <= 0:
+        try:
+            tile_span = self.simulator.tile_span
+        except ValueError:
             raise ValueError("simulator tiling too small for model OPC")
+        base = list(mask)
+        pending = set(target_indices)
         nx = max(1, int(-(-die.width // tile_span)))
         ny = max(1, int(-(-die.height // tile_span)))
+        tasks: List[OpcTileTask] = []
+        tile_targets: List[List[int]] = []
         for j in range(ny):
             for i in range(nx):
                 interior = Rect(
@@ -250,86 +359,65 @@ class PostOpcTimingFlow:
                     min(die.x0 + (i + 1) * tile_span, die.x1),
                     min(die.y0 + (j + 1) * tile_span, die.y1),
                 )
-                local = [
+                local = sorted(
                     idx for idx in pending
-                    if interior.contains_point(mask[idx].bbox.center)
-                ]
+                    if interior.contains_point(base[idx].bbox.center)
+                )
                 if not local:
                     continue
                 window = interior.expanded(self.simulator.ambit)
                 local_set = set(local)
-                context = [
-                    poly for k, poly in enumerate(mask)
-                    if k not in local_set and poly.bbox.overlaps(window, strict=False)
-                ]
                 # Targets are the DRAWN shapes (design intent); the rule-OPC
-                # output only serves as context for not-yet-corrected shapes.
-                result = apply_model_opc(
-                    self.simulator,
-                    [drawn[idx] for idx in local],
-                    context=context,
+                # snapshot only serves as context for everything else.
+                tasks.append(OpcTileTask(
+                    targets=tuple(drawn[idx] for idx in local),
+                    context=tuple(
+                        poly for k, poly in enumerate(base)
+                        if k not in local_set
+                        and poly.bbox.overlaps(window, strict=False)
+                    ),
                     recipe=config.model_recipe,
                     condition=config.condition,
-                )
-                for idx, corrected in zip(local, result.polygons):
-                    mask[idx] = corrected
+                ))
+                tile_targets.append(local)
                 pending.difference_update(local)
-        return mask
+        results = self.executor.map_chunks(correct_tile_chunk, self.simulator, tasks)
+        out = list(base)
+        for local, corrected in zip(tile_targets, results):
+            for idx, poly in zip(local, corrected):
+                out[idx] = poly
+        if counters is not None:
+            counters["opc_tiles"] = len(tasks)
+        return out
 
     # -- the full pipeline ----------------------------------------------------
 
-    def run(self, config: Optional[FlowConfig] = None) -> FlowReport:
+    def run(
+        self,
+        config: Optional[FlowConfig] = None,
+        *,
+        context: Optional[FlowContext] = None,
+        trace: Optional[FlowTrace] = None,
+    ) -> FlowReport:
         config = config or FlowConfig()
-        runtimes: Dict[str, float] = {}
-        constraints = TimingConstraints(clock_period_ps=config.clock_period_ps)
+        context = context if context is not None else self.context
+        trace = trace if trace is not None else FlowTrace()
 
-        engine = self._engine_for(config)
-        clock = time.perf_counter()
-        drawn_sta = engine.run(constraints)
+        artifacts = self.graph.execute(self, config, context, trace)
+
+        drawn_base: StaResult = artifacts["drawn_sta"]
+        post_base: StaResult = artifacts["post_sta"]
+        period = config.clock_period_ps
+        if period is None:
+            period = AUTO_PERIOD_MARGIN * drawn_base.critical_delay
+        drawn_sta = drawn_base.with_clock_period(period)
+        post_sta = post_base.with_clock_period(period)
         drawn_paths = top_paths(drawn_sta, config.n_critical_paths)
-        critical = self.tag_critical_gates(drawn_sta, config.n_critical_paths)
-        runtimes["sta_drawn"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        mask, n_model = self.apply_opc(config, critical)
-        runtimes["opc"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        condition_fn = None
-        if config.process_map is not None:
-            process_map = config.process_map
-            condition_fn = lambda interior: process_map.condition_at(
-                *interior.center.as_tuple()
-            )
-        measurements = measure_layout_gate_cds(
-            self.simulator,
-            mask,
-            self.gate_rects,
-            condition=config.condition,
-            n_slices=config.n_slices,
-            condition_fn=condition_fn,
-        )
-        runtimes["metrology"] = time.perf_counter() - clock
-
-        clock = time.perf_counter()
-        derates = derates_from_measurements(
-            self.netlist, self.cells, measurements, self.model
-        )
-        post_sta = engine.run(constraints, derates)
         post_paths = top_paths(post_sta, config.n_critical_paths)
-        hold_drawn = run_hold(engine, constraints).worst_hold_slack
-        hold_post = run_hold(engine, constraints, derates).worst_hold_slack
-        runtimes["sta_post"] = time.perf_counter() - clock
 
-        leak_drawn = sum(
-            instance_leakage(self.netlist, self.cells, {}, self.model).values()
-        )
-        leak_post = sum(
-            instance_leakage(self.netlist, self.cells, measurements, self.model).values()
-        )
-        failed = [
-            gate for gate, derate in derates.items() if derate.failed
-        ]
+        measurements = artifacts["measurements"]
+        derates = artifacts["derates"]
+        failed = [gate for gate, derate in derates.items() if derate.failed]
 
         return FlowReport(
             netlist_name=self.netlist.name,
@@ -341,13 +429,13 @@ class PostOpcTimingFlow:
             rank=compare_rankings(drawn_paths, post_paths),
             cd_stats=summarize_cds(measurements),
             measurements=measurements,
-            critical_gates=critical,
-            mask_polygons=mask,
-            model_corrected_polygons=n_model,
-            leakage_drawn=leak_drawn,
-            leakage_post=leak_post,
+            critical_gates=artifacts["critical_gates"],
+            mask_polygons=artifacts["mask_polygons"],
+            model_corrected_polygons=artifacts["model_corrected_polygons"],
+            leakage_drawn=artifacts["leakage_drawn"],
+            leakage_post=artifacts["leakage_post"],
             failed_gates=failed,
-            hold_drawn=hold_drawn,
-            hold_post=hold_post,
-            runtimes=runtimes,
+            hold_drawn=artifacts["hold_drawn"],
+            hold_post=artifacts["hold_post"],
+            trace=trace,
         )

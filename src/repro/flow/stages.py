@@ -1,0 +1,346 @@
+"""The flow as a stage graph.
+
+Each :class:`FlowStage` declares which upstream stages it consumes and
+which *slice* of the :class:`~repro.flow.postopc.FlowConfig` can change
+its output.  The :class:`StageGraph` hashes (flow fingerprint, config
+slice, upstream keys) into a Merkle-style artifact key per stage, so the
+:class:`~repro.flow.context.FlowContext` serves any stage whose inputs
+are unchanged from an earlier run: a ``selective``-mode run re-uses the
+placement, drawn STA and rule-OPC base of a ``rule``-mode run, and a
+dose-corner sweep re-uses everything upstream of lithography.
+
+STA stages run at a canonical clock period and are re-based (a pure
+endpoint-required-time shift) to the requested period at report assembly,
+so the timing cache is period-independent — deriving the period *from*
+the drawn STA costs nothing extra.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.flow.context import MISSING, FlowContext, stable_hash
+from repro.flow.trace import FlowTrace
+from repro.metrology.gate_cd import measure_tile_chunk, plan_metrology_tiles
+from repro.opc import RuleOpcRecipe
+from repro.timing import (
+    TimingConstraints,
+    derates_from_measurements,
+    instance_leakage,
+    run_hold,
+)
+
+#: STA artifacts are computed at this period and re-based on demand.
+CANONICAL_PERIOD_PS = 1000.0
+
+
+class FlowStage:
+    """One node of the flow graph.
+
+    Subclasses set :attr:`name`, override :meth:`run`, and declare their
+    dependencies via :meth:`requires` and their config sensitivity via
+    :meth:`config_slice`.  ``run`` returns the stage's artifacts as a dict
+    and may fill ``counters`` (numbers only) for the trace.
+    """
+
+    name: str = ""
+
+    def requires(self, config) -> Tuple[str, ...]:
+        """Names of the stages whose artifacts this stage consumes (may
+        depend on the config, e.g. selective OPC needs critical gates)."""
+        return ()
+
+    def config_slice(self, flow, config) -> Any:
+        """The part of the config that can change this stage's output."""
+        return ()
+
+    def install(self, flow, outputs: Dict[str, Any]) -> None:
+        """Hook for cache hits: re-attach artifacts to the flow object."""
+
+    def run(
+        self,
+        flow,
+        config,
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class PlaceStage(FlowStage):
+    """Row placement, per-instance gate rects, and the flat poly layer."""
+
+    name = "place"
+
+    def install(self, flow, outputs):
+        flow._install_layout(outputs)
+
+    def run(self, flow, config, artifacts, counters, context):
+        outputs = flow._build_layout()
+        counters["gates"] = len(outputs["placement"].gates)
+        counters["polygons"] = len(outputs["owned_polygons"])
+        return outputs
+
+
+class DrawnStaStage(FlowStage):
+    """Drawn-CD STA at the canonical period (re-based downstream)."""
+
+    name = "sta_drawn"
+
+    def requires(self, config):
+        return ("place",)
+
+    def config_slice(self, flow, config):
+        return (config.use_routing,)
+
+    def run(self, flow, config, artifacts, counters, context):
+        engine = flow._engine_for(config)
+        sta = engine.run(TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS))
+        counters["endpoints"] = len(sta.endpoints)
+        return {"drawn_sta": sta}
+
+
+class TagCriticalStage(FlowStage):
+    """Tag the gates on the top-K drawn speed paths (OPC hand-off)."""
+
+    name = "tag_critical"
+
+    def requires(self, config):
+        return ("sta_drawn",)
+
+    def config_slice(self, flow, config):
+        return (config.n_critical_paths,)
+
+    def run(self, flow, config, artifacts, counters, context):
+        critical = flow.tag_critical_gates(
+            artifacts["drawn_sta"], config.n_critical_paths
+        )
+        counters["critical_gates"] = len(critical)
+        return {"critical_gates": critical}
+
+
+class OpcStage(FlowStage):
+    """Mask synthesis: none / rule / model / selective."""
+
+    name = "opc"
+
+    def requires(self, config):
+        if config.opc_mode == "selective":
+            return ("place", "tag_critical")
+        return ("place",)
+
+    def config_slice(self, flow, config):
+        mode = config.opc_mode
+        if mode == "none":
+            return ("none",)
+        rule_recipe = config.rule_recipe or RuleOpcRecipe.for_tech(flow.tech)
+        if mode == "rule":
+            return ("rule", rule_recipe)
+        # model and selective share the slice shape; selective additionally
+        # depends on the tagged gates via the tag_critical parent key.
+        return (mode, rule_recipe, config.model_recipe, config.condition)
+
+    def run(self, flow, config, artifacts, counters, context):
+        mask, n_model = flow.apply_opc(
+            config,
+            artifacts.get("critical_gates", set()),
+            counters=counters,
+            context=context,
+        )
+        counters["model_corrected"] = n_model
+        return {"mask_polygons": mask, "model_corrected_polygons": n_model}
+
+
+class MetrologyStage(FlowStage):
+    """Tiled litho simulation + per-transistor printed-CD extraction."""
+
+    name = "metrology"
+
+    def requires(self, config):
+        return ("place", "opc")
+
+    def config_slice(self, flow, config):
+        return (config.condition, config.n_slices, config.process_map)
+
+    def run(self, flow, config, artifacts, counters, context):
+        condition_fn = None
+        if config.process_map is not None:
+            process_map = config.process_map
+            condition_fn = lambda interior: process_map.condition_at(
+                *interior.center.as_tuple()
+            )
+        tasks = plan_metrology_tiles(
+            flow.simulator,
+            artifacts["mask_polygons"],
+            flow.gate_rects,
+            condition=config.condition,
+            n_slices=config.n_slices,
+            condition_fn=condition_fn,
+        )
+        tile_results = flow.executor.map_chunks(
+            measure_tile_chunk, flow.simulator, tasks
+        )
+        measurements: Dict[Any, Any] = {}
+        for measured in tile_results:
+            measurements.update(measured)
+        counters["tiles"] = len(tasks)
+        counters["gates_measured"] = len(measurements)
+        return {"measurements": measurements}
+
+
+class BackAnnotateStage(FlowStage):
+    """Printed CDs -> per-instance derates (the paper's back-annotation)."""
+
+    name = "back_annotate"
+
+    def requires(self, config):
+        return ("metrology",)
+
+    def run(self, flow, config, artifacts, counters, context):
+        derates = derates_from_measurements(
+            flow.netlist, flow.cells, artifacts["measurements"], flow.model
+        )
+        counters["derated_instances"] = len(derates)
+        counters["failed_gates"] = sum(1 for d in derates.values() if d.failed)
+        return {"derates": derates}
+
+
+class PostStaStage(FlowStage):
+    """Post-OPC STA with back-annotated derates (canonical period)."""
+
+    name = "sta_post"
+
+    def requires(self, config):
+        return ("place", "back_annotate")
+
+    def config_slice(self, flow, config):
+        return (config.use_routing,)
+
+    def run(self, flow, config, artifacts, counters, context):
+        engine = flow._engine_for(config)
+        sta = engine.run(
+            TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS),
+            artifacts["derates"],
+        )
+        counters["endpoints"] = len(sta.endpoints)
+        return {"post_sta": sta}
+
+
+class HoldStage(FlowStage):
+    """Register hold slacks before/after back-annotation."""
+
+    name = "hold"
+
+    def requires(self, config):
+        return ("place", "back_annotate")
+
+    def config_slice(self, flow, config):
+        return (config.use_routing,)
+
+    def run(self, flow, config, artifacts, counters, context):
+        engine = flow._engine_for(config)
+        constraints = TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS)
+        drawn = run_hold(engine, constraints)
+        post = run_hold(engine, constraints, artifacts["derates"])
+        counters["hold_endpoints"] = len(drawn.endpoints)
+        return {
+            "hold_drawn": drawn.worst_hold_slack,
+            "hold_post": post.worst_hold_slack,
+        }
+
+
+class PowerStage(FlowStage):
+    """Leakage before/after printed-CD annotation (the NRG model)."""
+
+    name = "power"
+
+    def requires(self, config):
+        return ("metrology",)
+
+    def run(self, flow, config, artifacts, counters, context):
+        drawn = sum(
+            instance_leakage(flow.netlist, flow.cells, {}, flow.model).values()
+        )
+        post = sum(
+            instance_leakage(
+                flow.netlist, flow.cells, artifacts["measurements"], flow.model
+            ).values()
+        )
+        return {"leakage_drawn": drawn, "leakage_post": post}
+
+
+class StageGraph:
+    """Executes stages in declared order with content-addressed caching."""
+
+    def __init__(self, stages: Sequence[FlowStage]):
+        names: Set[str] = set()
+        for stage in stages:
+            if not stage.name:
+                raise ValueError(f"stage {stage!r} has no name")
+            if stage.name in names:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            names.add(stage.name)
+        self.stages: List[FlowStage] = list(stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def execute(
+        self,
+        flow,
+        config,
+        context: FlowContext,
+        trace: FlowTrace,
+    ) -> Dict[str, Any]:
+        """Run (or re-serve) every stage; returns the merged artifacts."""
+        artifacts: Dict[str, Any] = {}
+        keys: Dict[str, str] = {}
+        for stage in self.stages:
+            parents = stage.requires(config)
+            missing = [p for p in parents if p not in keys]
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} requires {missing} before it in the graph"
+                )
+            key = stable_hash((
+                flow.fingerprint,
+                stage.name,
+                stage.config_slice(flow, config),
+                tuple(keys[p] for p in parents),
+            ))
+            keys[stage.name] = key
+
+            start = time.perf_counter()
+            cached = context.lookup(key)
+            if cached is not MISSING:
+                outputs, counters = cached
+                context.count_hit(stage.name)
+                stage.install(flow, outputs)
+                trace.add(stage.name, time.perf_counter() - start,
+                          cache_hit=True, counters=counters)
+            else:
+                context.count_miss(stage.name)
+                counters: Dict[str, float] = {}
+                outputs = stage.run(flow, config, artifacts, counters, context)
+                context.store(key, (outputs, dict(counters)))
+                trace.add(stage.name, time.perf_counter() - start,
+                          cache_hit=False, counters=counters)
+            artifacts.update(outputs)
+        return artifacts
+
+
+def default_stage_graph() -> StageGraph:
+    """The paper's pipeline as a stage graph."""
+    return StageGraph([
+        PlaceStage(),
+        DrawnStaStage(),
+        TagCriticalStage(),
+        OpcStage(),
+        MetrologyStage(),
+        BackAnnotateStage(),
+        PostStaStage(),
+        HoldStage(),
+        PowerStage(),
+    ])

@@ -22,7 +22,7 @@ from repro.litho.raster import MaskGrid, rasterize
 from repro.litho.imaging import AerialImage, OpticalModel
 from repro.litho.resist import ProcessCondition, ResistModel
 from repro.litho.contour import marching_squares
-from repro.litho.simulator import LithographySimulator
+from repro.litho.simulator import LithographySimulator, TileSpec
 from repro.litho.window import BossungData, ProcessWindow, bossung_data, extract_process_window
 from repro.litho.metrics import (
     dose_latitude_percent,
@@ -43,6 +43,7 @@ __all__ = [
     "ResistModel",
     "marching_squares",
     "LithographySimulator",
+    "TileSpec",
     "nils_at_edge",
     "grating_nils",
     "grating_meef",

@@ -102,6 +102,17 @@ class OpticalModel:
         self.source: List[SourcePoint] = make_source(settings)
         self._kernel_cache: Dict[tuple, tuple] = {}
 
+    def __getstate__(self):
+        """Pickle without the SOCS kernel cache.
+
+        The cache is pure derived data and can be tens of megabytes;
+        dropping it keeps worker dispatch cheap — each parallel worker
+        rebuilds the kernels for its tile geometry exactly once.
+        """
+        state = self.__dict__.copy()
+        state["_kernel_cache"] = {}
+        return state
+
     # -- public API ----------------------------------------------------------
 
     def aerial_image(

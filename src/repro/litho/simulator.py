@@ -33,6 +33,20 @@ class TileResult:
     interior: Rect
 
 
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile of a tiled simulation, before any imaging happens.
+
+    The spec is a plain, picklable value — the work-list unit that
+    parallel executors ship to worker processes.  ``condition`` is already
+    resolved (per-tile ACLV maps are evaluated at planning time), so
+    workers never see closures.
+    """
+
+    interior: Rect
+    condition: ProcessCondition
+
+
 class LithographySimulator:
     """Images layout polygons under a process condition."""
 
@@ -120,6 +134,72 @@ class LithographySimulator:
 
     # -- tiled full-layout simulation -------------------------------------------
 
+    @property
+    def tile_span(self) -> float:
+        """Interior side length of one simulation tile."""
+        span = self.max_tile_px * self.settings.pixel_nm - 2 * self.ambit
+        if span <= 0:
+            raise ValueError("max_tile_px too small for the ambit")
+        return span
+
+    def plan_tiles(
+        self,
+        region: Rect,
+        condition: ProcessCondition = NOMINAL,
+        condition_fn=None,
+    ) -> List[TileSpec]:
+        """The tile decomposition of ``region`` as a picklable work-list.
+
+        Tile interiors partition ``region``; each tile's exposure condition
+        is resolved here (``condition_fn`` maps an interior Rect to its own
+        :class:`ProcessCondition` for across-chip dose/defocus maps), so the
+        specs carry no callables.
+        """
+        span = self.tile_span
+        nx = max(1, int(-(-region.width // span)))
+        ny = max(1, int(-(-region.height // span)))
+        specs: List[TileSpec] = []
+        for j in range(ny):
+            for i in range(nx):
+                interior = Rect(
+                    region.x0 + i * span,
+                    region.y0 + j * span,
+                    min(region.x0 + (i + 1) * span, region.x1),
+                    min(region.y0 + (j + 1) * span, region.y1),
+                )
+                if interior.width == 0 or interior.height == 0:
+                    continue
+                tile_condition = condition_fn(interior) if condition_fn else condition
+                specs.append(TileSpec(interior=interior, condition=tile_condition))
+        return specs
+
+    def tile_workload(
+        self,
+        polygons: Sequence[Polygon],
+        region: Rect,
+        condition: ProcessCondition = NOMINAL,
+        condition_fn=None,
+    ) -> List[Tuple[TileSpec, List[Polygon]]]:
+        """Tile specs paired with the geometry each tile needs.
+
+        Each tile gets every polygon whose bbox touches its ambit-expanded
+        window — a self-contained, picklable unit of work for a parallel
+        executor.
+        """
+        specs = self.plan_tiles(region, condition, condition_fn)
+        index = GridIndex(cell_size=max(self.tile_span, 1000.0))
+        for poly in polygons:
+            index.insert(poly.bbox, poly)
+        return [
+            (spec, index.query(spec.interior.expanded(self.ambit), strict=False))
+            for spec in specs
+        ]
+
+    def simulate_tile(self, spec: TileSpec, polygons: Sequence[Polygon]) -> TileResult:
+        """Image one planned tile (the work a parallel worker performs)."""
+        latent = self.latent_image(polygons, spec.interior, spec.condition)
+        return TileResult(latent=latent, interior=spec.interior)
+
     def iter_tiles(
         self,
         polygons: Sequence[Polygon],
@@ -130,34 +210,10 @@ class LithographySimulator:
         """Simulate ``region`` in tiles; yields latent images with interiors.
 
         Tile interiors partition ``region``; the latent image of each tile
-        extends one ambit beyond its interior on every side.  When
-        ``condition_fn`` is given, it maps each tile interior Rect to its
-        own :class:`ProcessCondition` (across-chip dose/defocus maps).
+        extends one ambit beyond its interior on every side.
         """
-        tile_span = self.max_tile_px * self.settings.pixel_nm - 2 * self.ambit
-        if tile_span <= 0:
-            raise ValueError("max_tile_px too small for the ambit")
-        index = GridIndex(cell_size=max(tile_span, 1000.0))
-        for poly in polygons:
-            index.insert(poly.bbox, poly)
-
-        nx = max(1, int(-(-region.width // tile_span)))
-        ny = max(1, int(-(-region.height // tile_span)))
-        for j in range(ny):
-            for i in range(nx):
-                interior = Rect(
-                    region.x0 + i * tile_span,
-                    region.y0 + j * tile_span,
-                    min(region.x0 + (i + 1) * tile_span, region.x1),
-                    min(region.y0 + (j + 1) * tile_span, region.y1),
-                )
-                if interior.width == 0 or interior.height == 0:
-                    continue
-                window = interior.expanded(self.ambit)
-                local = index.query(window, strict=False)
-                tile_condition = condition_fn(interior) if condition_fn else condition
-                latent = self.latent_image(local, interior, tile_condition)
-                yield TileResult(latent=latent, interior=interior)
+        for spec, local in self.tile_workload(polygons, region, condition, condition_fn):
+            yield self.simulate_tile(spec, local)
 
     # -- calibration --------------------------------------------------------------
 

@@ -2,16 +2,22 @@
 
 from repro.metrology.gate_cd import (
     GateCdMeasurement,
+    MetrologyTileTask,
     measure_gate_cds,
     measure_layout_gate_cds,
+    measure_tile_chunk,
+    plan_metrology_tiles,
 )
 from repro.metrology.sites import MetrologySite, select_sites
 from repro.metrology.statistics import CdStatistics, summarize_cds
 
 __all__ = [
     "GateCdMeasurement",
+    "MetrologyTileTask",
     "measure_gate_cds",
     "measure_layout_gate_cds",
+    "measure_tile_chunk",
+    "plan_metrology_tiles",
     "MetrologySite",
     "select_sites",
     "CdStatistics",

@@ -17,7 +17,7 @@ import numpy as np
 from repro.geometry import Polygon, Rect
 from repro.litho.imaging import AerialImage
 from repro.litho.resist import NOMINAL, ProcessCondition
-from repro.litho.simulator import LithographySimulator
+from repro.litho.simulator import LithographySimulator, TileSpec
 
 
 @dataclass
@@ -148,6 +148,81 @@ def measure_gate_cds(
     return results
 
 
+@dataclass(frozen=True)
+class MetrologyTileTask:
+    """Self-contained metrology work for one tile (picklable)."""
+
+    spec: TileSpec
+    polygons: Tuple[Polygon, ...]
+    gate_rects: Tuple[Tuple[Hashable, Rect], ...]
+    n_slices: int
+
+
+def plan_metrology_tiles(
+    simulator: LithographySimulator,
+    mask_polygons: Sequence[Polygon],
+    gate_rects: Mapping[Hashable, Rect],
+    condition: ProcessCondition = NOMINAL,
+    region: Optional[Rect] = None,
+    n_slices: int = 5,
+    condition_fn=None,
+) -> List[MetrologyTileTask]:
+    """Extract the per-tile metrology work-list.
+
+    Each gate is assigned to the tile whose interior contains its center
+    (first tile wins on boundaries, matching the serial scan order), so
+    every measurement has a full ambit of real context.  Tiles with no
+    gates produce no task — they are never simulated.
+    """
+    if region is None:
+        boxes = [r for r in gate_rects.values()]
+        if not boxes:
+            return []
+        region = Rect.bounding(boxes).expanded(simulator.settings.pixel_nm)
+    pending = dict(gate_rects)
+    tasks: List[MetrologyTileTask] = []
+    for spec, local_polys in simulator.tile_workload(
+        mask_polygons, region, condition, condition_fn=condition_fn
+    ):
+        local = {
+            key: rect
+            for key, rect in pending.items()
+            if spec.interior.contains_point(rect.center)
+        }
+        if not local:
+            continue
+        for key in local:
+            del pending[key]
+        tasks.append(MetrologyTileTask(
+            spec=spec,
+            polygons=tuple(local_polys),
+            gate_rects=tuple(local.items()),
+            n_slices=n_slices,
+        ))
+    return tasks
+
+
+def measure_tile_chunk(payload) -> List[Dict[Hashable, GateCdMeasurement]]:
+    """Chunk worker: measure a list of tiles with one simulator.
+
+    ``payload`` is ``(simulator, [MetrologyTileTask, ...])``.  Module-level
+    and fully picklable so process-pool executors can dispatch it; each
+    worker builds its SOCS kernel cache on the first tile and reuses it
+    for the rest of the chunk.
+    """
+    simulator, tasks = payload
+    results = []
+    for task in tasks:
+        tile = simulator.simulate_tile(task.spec, list(task.polygons))
+        results.append(measure_gate_cds(
+            tile.latent,
+            simulator.resist.threshold,
+            dict(task.gate_rects),
+            n_slices=task.n_slices,
+        ))
+    return results
+
+
 def measure_layout_gate_cds(
     simulator: LithographySimulator,
     mask_polygons: Sequence[Polygon],
@@ -156,34 +231,26 @@ def measure_layout_gate_cds(
     region: Optional[Rect] = None,
     n_slices: int = 5,
     condition_fn=None,
+    executor=None,
 ) -> Dict[Hashable, GateCdMeasurement]:
     """Full-layout gate metrology via tiled simulation.
 
-    Each gate is measured in the tile whose interior contains its center,
-    so every measurement has a full ambit of real context.  An optional
-    ``condition_fn`` gives each tile its own exposure condition (ACLV).
+    An optional ``condition_fn`` gives each tile its own exposure
+    condition (ACLV).  ``executor`` is any object with the
+    ``map_chunks(worker, shared, tasks)`` protocol of
+    ``repro.flow.parallel.ParallelExecutor`` (duck-typed — this layer
+    never imports the flow); ``None`` runs serially.  Tiles are
+    independent, so every backend returns bit-identical measurements.
     """
-    if region is None:
-        boxes = [r for r in gate_rects.values()]
-        if not boxes:
-            return {}
-        region = Rect.bounding(boxes).expanded(simulator.settings.pixel_nm)
+    tasks = plan_metrology_tiles(
+        simulator, mask_polygons, gate_rects, condition, region, n_slices,
+        condition_fn=condition_fn,
+    )
+    if executor is None:
+        tile_results = measure_tile_chunk((simulator, tasks))
+    else:
+        tile_results = executor.map_chunks(measure_tile_chunk, simulator, tasks)
     results: Dict[Hashable, GateCdMeasurement] = {}
-    pending = dict(gate_rects)
-    for tile in simulator.iter_tiles(mask_polygons, region, condition,
-                                     condition_fn=condition_fn):
-        local = {
-            key: rect
-            for key, rect in pending.items()
-            if tile.interior.contains_point(rect.center)
-        }
-        if not local:
-            continue
-        results.update(
-            measure_gate_cds(
-                tile.latent, simulator.resist.threshold, local, n_slices=n_slices
-            )
-        )
-        for key in local:
-            del pending[key]
+    for measured in tile_results:
+        results.update(measured)
     return results

@@ -1,7 +1,13 @@
 """Optical proximity correction: rule-based, model-based, SRAF, and ORC."""
 
 from repro.opc.rules import RuleOpcRecipe, apply_rule_opc
-from repro.opc.model_based import ModelOpcRecipe, OpcResult, apply_model_opc
+from repro.opc.model_based import (
+    ModelOpcRecipe,
+    OpcResult,
+    OpcTileTask,
+    apply_model_opc,
+    correct_tile_chunk,
+)
 from repro.opc.sraf import SrafRecipe, insert_srafs
 from repro.opc.orc import OrcReport, OrcViolation, run_orc
 from repro.opc.mrc import MrcRecipe, check_mrc
@@ -11,7 +17,9 @@ __all__ = [
     "apply_rule_opc",
     "ModelOpcRecipe",
     "OpcResult",
+    "OpcTileTask",
     "apply_model_opc",
+    "correct_tile_chunk",
     "SrafRecipe",
     "insert_srafs",
     "OrcReport",

@@ -113,6 +113,44 @@ def measure_epes(
     return epes
 
 
+@dataclass(frozen=True)
+class OpcTileTask:
+    """Model-OPC work for one tile, as a picklable value.
+
+    ``targets`` are the drawn polygons to correct (design intent);
+    ``context`` is the fixed mask data sharing the tile's optical window.
+    Tasks carry no simulator or callables, so a process-pool worker can
+    receive them alongside one pickled simulator per chunk.
+    """
+
+    targets: Tuple[Polygon, ...]
+    context: Tuple[Polygon, ...]
+    recipe: ModelOpcRecipe
+    condition: ProcessCondition
+
+
+def correct_tile_chunk(payload) -> List[List[Polygon]]:
+    """Chunk worker: run model OPC on a list of tile tasks.
+
+    ``payload`` is ``(simulator, [OpcTileTask, ...])``.  Module-level and
+    picklable for process-pool dispatch; the simulator's SOCS kernel
+    cache is built once per worker and shared across the chunk's tiles.
+    Returns the corrected polygons of each task, in task order.
+    """
+    simulator, tasks = payload
+    results = []
+    for task in tasks:
+        corrected = apply_model_opc(
+            simulator,
+            list(task.targets),
+            context=list(task.context),
+            recipe=task.recipe,
+            condition=task.condition,
+        )
+        results.append(corrected.polygons)
+    return results
+
+
 def apply_model_opc(
     simulator: LithographySimulator,
     targets: Sequence[Polygon],

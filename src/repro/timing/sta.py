@@ -113,6 +113,30 @@ class StaResult:
             raise KeyError(f"{net!r} is not an endpoint")
         return min(slacks)
 
+    def with_clock_period(self, clock_period_ps: float) -> "StaResult":
+        """This result re-based to a different clock period.
+
+        Arrivals, slews and predecessors do not depend on the period —
+        only endpoint required times do, and they all shift by the same
+        delta (outputs are required at the period, register D pins at
+        period minus setup).  The rebased copy shares the arrival/slew
+        dicts with the original, so rebasing a cached STA is O(endpoints)
+        instead of a full re-run; treat results as immutable.
+        """
+        if clock_period_ps == self.clock_period_ps:
+            return self
+        delta = clock_period_ps - self.clock_period_ps
+        return StaResult(
+            arrivals=self.arrivals,
+            slews=self.slews,
+            predecessors=self.predecessors,
+            endpoints=[
+                Endpoint(e.net, e.transition, e.arrival, e.required + delta)
+                for e in self.endpoints
+            ],
+            clock_period_ps=clock_period_ps,
+        )
+
 
 class StaEngine:
     """Timing engine bound to one netlist + characterized library."""

@@ -64,8 +64,18 @@ class TestFlowNoOpc(object):
 
     def test_runtimes_recorded(self, chain_report_none):
         assert set(chain_report_none.runtimes) == {
-            "sta_drawn", "opc", "metrology", "sta_post"
+            "place", "sta_drawn", "tag_critical", "opc", "metrology",
+            "back_annotate", "sta_post", "hold", "power",
         }
+
+    def test_trace_records_every_stage(self, chain_report_none):
+        trace = chain_report_none.trace
+        assert [r.name for r in trace] == [
+            "place", "sta_drawn", "tag_critical", "opc", "metrology",
+            "back_annotate", "sta_post", "hold", "power",
+        ]
+        assert all(r.wall_s >= 0.0 for r in trace)
+        assert trace.record_for("metrology").counters["gates_measured"] > 0
 
     def test_summary_text(self, chain_report_none):
         text = chain_report_none.summary()

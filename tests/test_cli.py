@@ -14,6 +14,20 @@ class TestParser:
         args = build_parser().parse_args(["flow"])
         assert args.design == "c17"
         assert args.opc == "rule"
+        assert args.jobs == 1
+        assert args.trace is None
+        assert args.period is None  # auto-derived from the drawn STA
+
+    def test_flow_jobs_and_trace(self):
+        args = build_parser().parse_args(
+            ["flow", "--jobs", "4", "--trace", "t.json"])
+        assert args.jobs == 4
+        assert args.trace == "t.json"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.design == "c17"
+        assert args.jobs == 1
 
     def test_unknown_design_rejected(self):
         with pytest.raises(SystemExit):
@@ -21,6 +35,18 @@ class TestParser:
 
 
 class TestCommands:
+    def test_flow_command_with_trace(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(["flow", "--design", "c17", "--opc", "none",
+                     "--period", "500", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "WNS drawn" in out
+        payload = json.loads(trace_file.read_text())
+        names = [s["name"] for s in payload["stages"]]
+        assert names[0] == "place" and "metrology" in names
+
     def test_sta_command(self, capsys):
         assert main(["sta", "--design", "rca4", "--period", "800", "--paths", "2"]) == 0
         out = capsys.readouterr().out
