@@ -44,18 +44,36 @@ def _make_design(name: str, library):
     return DESIGNS[name](library)
 
 
+def _make_flow_engine(args):
+    """Shared flow/sweep setup: context (persistent if asked) + executor."""
+    from repro.flow import FlowContext, ParallelExecutor
+
+    max_bytes = None
+    if getattr(args, "cache_size_mb", None):
+        max_bytes = int(args.cache_size_mb * 1e6)
+    context = FlowContext(cache_dir=args.cache_dir, max_disk_bytes=max_bytes)
+    executor = ParallelExecutor.from_jobs(
+        args.jobs, retries=args.retries, chunk_timeout=args.chunk_timeout
+    )
+    return context, executor
+
+
 def cmd_flow(args) -> int:
     from repro.flow import FlowConfig, PostOpcTimingFlow
 
     tech = make_tech_90nm()
     library = build_library(tech)
     netlist = _make_design(args.design, library)
-    flow = PostOpcTimingFlow(netlist, tech, cells=library, jobs=args.jobs)
+    context, executor = _make_flow_engine(args)
+    flow = PostOpcTimingFlow(netlist, tech, cells=library,
+                             executor=executor, context=context)
     # clock_period_ps=None derives the period from the flow's own drawn-STA
     # stage (one STA, served from the artifact cache — not a warm-up run).
     report = flow.run(FlowConfig(opc_mode=args.opc, clock_period_ps=args.period,
                                  n_critical_paths=args.paths))
     print(report.summary())
+    if args.cache_dir:
+        print(f"cache: {context.summary()}")
     if args.trace:
         report.trace.write_json(args.trace)
         print(f"wrote trace {args.trace}")
@@ -73,7 +91,9 @@ def cmd_sweep(args) -> int:
     tech = make_tech_90nm()
     library = build_library(tech)
     netlist = _make_design(args.design, library)
-    flow = PostOpcTimingFlow(netlist, tech, cells=library, jobs=args.jobs)
+    context, executor = _make_flow_engine(args)
+    flow = PostOpcTimingFlow(netlist, tech, cells=library,
+                             executor=executor, context=context)
     result = FlowSweep(flow).run(FlowConfig(
         opc_mode="none", clock_period_ps=args.period,
         n_critical_paths=args.paths,
@@ -161,6 +181,20 @@ def cmd_litho(args) -> int:
     return 0
 
 
+def _add_durability_args(sub) -> None:
+    """Persistent-cache and fault-tolerance knobs shared by flow/sweep."""
+    sub.add_argument("--cache-dir", default=None,
+                     help="persist flow artifacts here; later runs (or other "
+                          "processes) serve them as disk hits")
+    sub.add_argument("--cache-size-mb", type=float, default=None,
+                     help="cap the cache directory, evicting LRU entries")
+    sub.add_argument("--retries", type=int, default=1,
+                     help="retry a failed/crashed worker chunk this many times "
+                          "before degrading it to serial execution")
+    sub.add_argument("--chunk-timeout", type=float, default=None,
+                     help="seconds before a worker chunk counts as failed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="litho-aware timing analysis (DAC 2005 reproduction)"
@@ -176,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--paths", type=int, default=5)
     flow.add_argument("--jobs", type=int, default=1,
                       help="parallel workers for the OPC/metrology tile loops")
+    _add_durability_args(flow)
     flow.add_argument("--trace", default=None,
                       help="write the per-stage trace (wall time, cache, counters) as JSON")
     flow.add_argument("--gds", default=None, help="also export layers to this GDS file")
@@ -189,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clock period (ps); default derives it from the drawn STA")
     sweep.add_argument("--paths", type=int, default=5)
     sweep.add_argument("--jobs", type=int, default=1)
+    _add_durability_args(sweep)
     sweep.add_argument("--trace", default=None,
                        help="write per-mode traces + context stats as JSON")
     sweep.set_defaults(func=cmd_sweep)

@@ -38,7 +38,7 @@ def flow_report_markdown(report) -> str:
         "",
         "## Worst-case slack",
         "",
-        f"| view | WNS (ps) |",
+        "| view | WNS (ps) |",
         "|---|---|",
         f"| drawn CDs | {report.wns_drawn:+.2f} |",
         f"| post-OPC extracted CDs | {report.wns_post:+.2f} |",

@@ -34,7 +34,6 @@ def write_spice_subckt(
         f"* {cell.name} ({cell.kind}, drive X{cell.drive})",
         f".subckt {cell.name} {' '.join(ports)} VDD VSS",
     ]
-    node_counter = 0
     for t in cell.transistors:
         length = overrides.get(t.name, t.length)
         model = nmos_model if t.mos_type == "n" else pmos_model
@@ -42,7 +41,6 @@ def write_spice_subckt(
         rail = "VSS" if t.mos_type == "n" else "VDD"
         # Internal series nodes are approximated: each device drains to the
         # output and sources to its rail unless it is mid-stack.
-        node_counter += 1
         gate_node = t.gate_pin if (t.gate_pin in ports) else f"int_{t.gate_pin}"
         lines.append(
             f"M{t.name} {cell.output} {gate_node} {rail} {bulk} {model} "

@@ -15,7 +15,7 @@ back-annotated into timing through :meth:`StandardCell.network_strength`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.gds import Cell

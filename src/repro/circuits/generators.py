@@ -9,7 +9,7 @@ ISCAS-85 c17, and seeded random logic.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.cells import CellLibrary
 from repro.circuits.bench import C17_BENCH, parse_bench
@@ -258,7 +258,7 @@ def kogge_stone_adder(bits: int, drive: int = 1, name: str = "ksa") -> Netlist:
         stage += 1
 
     # Sums: s_i = p0_i XOR carry_{i-1}; carry_{i-1} = prefix generate of i-1.
-    netlist.add_gate("gs0", f"BUF_X{drive}", {"A": f"p0_0", "Z": "s0"})
+    netlist.add_gate("gs0", f"BUF_X{drive}", {"A": "p0_0", "Z": "s0"})
     netlist.add_output("s0")
     for i in range(1, bits):
         netlist.add_gate(f"gs{i}", f"XOR2_X{drive}",

@@ -18,7 +18,7 @@ connections, library cells.
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import Dict
 
 from repro.cells import CellLibrary
 from repro.circuits.netlist import Netlist, NetlistError

@@ -9,7 +9,7 @@ per-stage observability in :mod:`repro.flow.trace`.
 """
 
 from repro.flow.context import FlowContext, stable_hash
-from repro.flow.parallel import ParallelExecutor, split_chunks
+from repro.flow.parallel import FaultInjection, ParallelExecutor, split_chunks
 from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
 from repro.flow.stages import (
     FlowStage,
@@ -31,6 +31,7 @@ __all__ = [
     "StageGraph",
     "default_stage_graph",
     "ParallelExecutor",
+    "FaultInjection",
     "split_chunks",
     "FlowSweep",
     "SweepResult",

@@ -7,16 +7,32 @@ slice share that stage's artifacts: a ``selective``-mode run re-uses the
 placement, drawn-STA and rule-OPC products of an earlier ``rule``-mode
 run, and a process-corner sweep re-uses everything upstream of
 lithography.
+
+With a ``cache_dir`` the store is additionally **persistent**: every
+artifact is pickled to one file under that directory, named by its stable
+key, next to a sidecar file carrying the payload's SHA-256.  A later
+process (or a later :class:`FlowContext` over the same directory) serves
+those artifacts as *disk hits*; loads verify the sidecar hash and treat
+corrupt or unreadable entries as misses — the damaged files are deleted
+and the stage recomputes, the flow never crashes on a bad cache.  An
+optional byte cap evicts the least-recently-used entries.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import re
 from dataclasses import fields, is_dataclass
-from typing import Any, Callable, Dict, List, Mapping, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 #: sentinel distinguishing "no entry" from a stored None
 MISSING = object()
+
+#: default reprs embed the object's address — hashing one would make the
+#: "stable" key differ between two identical runs.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
 
 
 def _feed(obj: Any, out: List[str]) -> None:
@@ -47,9 +63,18 @@ def _feed(obj: Any, out: List[str]) -> None:
             out.append(token)
         out.append(">")
     else:
-        # Fallback: the repr.  Fine for value-like objects; objects with
-        # default (address-bearing) reprs should not appear in config slices.
-        out.append(repr(obj))
+        # Fallback: the repr.  Only value-like reprs are trustworthy here;
+        # an address-bearing default repr would silently poison every key
+        # derived from it (and any persisted cache keyed by it), so it is
+        # a hard error rather than a wrong answer.
+        text = repr(obj)
+        if _ADDRESS_REPR.search(text):
+            raise TypeError(
+                f"stable_hash: {type(obj).__qualname__} has an address-bearing "
+                f"repr ({text[:80]!r}); give it a value-like repr or make it a "
+                "dataclass before putting it in a config slice"
+            )
+        out.append(text)
 
 
 def stable_hash(obj: Any) -> str:
@@ -57,7 +82,8 @@ def stable_hash(obj: Any) -> str:
 
     Handles scalars, strings, tuples/lists, mappings, sets, and
     dataclasses recursively; stable across processes and sessions (no
-    reliance on ``hash()``).
+    reliance on ``hash()``).  Objects that would fall back to an
+    address-bearing default ``repr`` are rejected with :class:`TypeError`.
     """
     tokens: List[str] = []
     _feed(obj, tokens)
@@ -71,25 +97,190 @@ class FlowContext:
     One context can back many runs (and many :class:`PostOpcTimingFlow`
     objects — keys embed the flow's netlist/technology fingerprint, so
     different designs never collide).
+
+    ``cache_dir`` enables the persistent on-disk tier (one pickle + one
+    hash sidecar per artifact); ``max_disk_bytes`` caps its total size
+    with LRU eviction (file mtime is the recency clock — refreshed on
+    every disk hit).
     """
 
-    def __init__(self):
+    #: filename suffixes of the payload and its integrity sidecar
+    DATA_SUFFIX = ".pkl"
+    HASH_SUFFIX = ".sha256"
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
+    ):
         self._artifacts: Dict[str, Any] = {}
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
+        self.cache_dir = cache_dir
+        self.max_disk_bytes = max_disk_bytes
+        #: where the most recent successful lookup was served from
+        #: ("memory" | "disk" | None)
+        self.last_hit_source: Optional[str] = None
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
+        self.disk_evictions = 0
+        self.disk_corruptions = 0
+        self.disk_write_errors = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
 
     def __len__(self) -> int:
         return len(self._artifacts)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._artifacts
+        return key in self._artifacts or (
+            self.cache_dir is not None and os.path.exists(self._data_path(key))
+        )
+
+    # -- persistent tier -----------------------------------------------------
+
+    def _data_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key + self.DATA_SUFFIX)
+
+    def _hash_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key + self.HASH_SUFFIX)
+
+    def _drop_entry(self, key: str) -> None:
+        for path in (self._data_path(key), self._hash_path(key)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def _disk_load(self, key: str) -> Any:
+        """Load + verify one entry; :data:`MISSING` on absence/corruption."""
+        data_path = self._data_path(key)
+        try:
+            with open(data_path, "rb") as fh:
+                payload = fh.read()
+        except FileNotFoundError:
+            return MISSING
+        except OSError:
+            self.disk_corruptions += 1
+            self._drop_entry(key)
+            return MISSING
+        try:
+            with open(self._hash_path(key), "r") as fh:
+                expected = fh.read().strip()
+            if hashlib.sha256(payload).hexdigest() != expected:
+                raise ValueError("integrity hash mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            # Truncated pickle, missing/garbled sidecar, unpicklable class...
+            # all are recoverable: drop the entry and let the stage recompute.
+            self.disk_corruptions += 1
+            self._drop_entry(key)
+            return MISSING
+        try:
+            os.utime(data_path)  # refresh the LRU clock
+        except OSError:
+            pass
+        return value
+
+    def _disk_store(self, key: str, value: Any) -> None:
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.disk_write_errors += 1
+            return
+        digest = hashlib.sha256(payload).hexdigest()
+        data_path = self._data_path(key)
+        hash_path = self._hash_path(key)
+        try:
+            # Write via temp files + rename so a concurrent reader never
+            # sees a half-written payload (it would be caught by the hash
+            # check anyway, but would count as a spurious corruption).
+            tmp = data_path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, data_path)
+            tmp = hash_path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(digest + "\n")
+            os.replace(tmp, hash_path)
+        except OSError:
+            self.disk_write_errors += 1
+            self._drop_entry(key)
+            return
+        self.disk_writes += 1
+        self._enforce_size_cap()
+
+    def _disk_entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, total bytes, key) per persisted entry, oldest first."""
+        entries: List[Tuple[float, int, str]] = []
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(self.DATA_SUFFIX):
+                continue
+            key = name[: -len(self.DATA_SUFFIX)]
+            try:
+                stat = os.stat(self._data_path(key))
+                size = stat.st_size
+                try:
+                    size += os.stat(self._hash_path(key)).st_size
+                except OSError:
+                    pass
+                entries.append((stat.st_mtime, size, key))
+            except OSError:
+                continue
+        entries.sort()
+        return entries
+
+    def _enforce_size_cap(self) -> None:
+        if self.max_disk_bytes is None:
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        # Evict least-recently-used first; the newest entry always survives
+        # (evicting what was just written would make the cache a no-op).
+        index = 0
+        while total > self.max_disk_bytes and index < len(entries) - 1:
+            _, size, key = entries[index]
+            self._drop_entry(key)
+            self.disk_evictions += 1
+            total -= size
+            index += 1
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """(entry count, total bytes) of the persistent tier (0, 0 if off)."""
+        if self.cache_dir is None:
+            return (0, 0)
+        entries = self._disk_entries()
+        return (len(entries), sum(size for _, size, _ in entries))
+
+    # -- lookup / store ------------------------------------------------------
 
     def lookup(self, key: str) -> Any:
-        """The stored artifact, or :data:`MISSING`."""
-        return self._artifacts.get(key, MISSING)
+        """The stored artifact, or :data:`MISSING`.
+
+        Checks the in-memory tier first, then (when ``cache_dir`` is set)
+        the on-disk tier; disk hits are promoted into memory.
+        :attr:`last_hit_source` records where the value came from.
+        """
+        value = self._artifacts.get(key, MISSING)
+        if value is not MISSING:
+            self.last_hit_source = "memory"
+            return value
+        if self.cache_dir is not None:
+            value = self._disk_load(key)
+            if value is not MISSING:
+                self.disk_hits += 1
+                self._artifacts[key] = value
+                self.last_hit_source = "disk"
+                return value
+            self.disk_misses += 1
+        self.last_hit_source = None
+        return MISSING
 
     def store(self, key: str, value: Any) -> None:
         self._artifacts[key] = value
+        if self.cache_dir is not None:
+            self._disk_store(key, value)
 
     def count_hit(self, stage: str) -> None:
         self.hits[stage] = self.hits.get(stage, 0) + 1
@@ -111,11 +302,23 @@ class FlowContext:
 
     def stats(self) -> Dict[str, object]:
         stages: Set[str] = set(self.hits) | set(self.misses)
+        entries, total_bytes = self.disk_usage()
         return {
             "entries": len(self._artifacts),
             "stages": {
                 name: {"hits": self.hits.get(name, 0), "misses": self.misses.get(name, 0)}
                 for name in sorted(stages)
+            },
+            "disk": {
+                "enabled": self.cache_dir is not None,
+                "hits": self.disk_hits,
+                "misses": self.disk_misses,
+                "writes": self.disk_writes,
+                "evictions": self.disk_evictions,
+                "corruptions": self.disk_corruptions,
+                "write_errors": self.disk_write_errors,
+                "entries": entries,
+                "bytes": total_bytes,
             },
         }
 
@@ -123,4 +326,13 @@ class FlowContext:
         parts = []
         for name, counts in self.stats()["stages"].items():
             parts.append(f"{name} {counts['hits']}h/{counts['misses']}m")
-        return f"{len(self._artifacts)} artifacts; " + ", ".join(parts)
+        text = f"{len(self._artifacts)} artifacts; " + ", ".join(parts)
+        if self.cache_dir is not None:
+            entries, total_bytes = self.disk_usage()
+            text += (
+                f"; disk {self.disk_hits}h/{self.disk_misses}m"
+                f" ({entries} files, {total_bytes / 1e6:.1f} MB"
+                f", {self.disk_evictions} evicted"
+                f", {self.disk_corruptions} corrupt)"
+            )
+        return text

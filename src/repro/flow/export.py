@@ -7,7 +7,7 @@ DFM engineer loads side by side to review a hotspot.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.flow.postopc import FlowReport, PostOpcTimingFlow
 from repro.gds import Layout, write_gds
@@ -48,10 +48,14 @@ def export_flow_gds(
             top.add_polygon(Layers.POLY_PRINTED, contour.snapped(0.1))
 
     # Annotate measured gates: a marker box per failed (unprintable) gate.
+    # Index the rects by owning instance once; rescanning the full rect map
+    # per failed gate is O(failed x rects) on a bad-litho full chip.
+    rects_by_owner: Dict[str, List[Rect]] = {}
+    for (owner, _), rect in flow.gate_rects.items():
+        rects_by_owner.setdefault(owner, []).append(rect)
     for gate_name in report.failed_gates:
-        for (owner, _), rect in flow.gate_rects.items():
-            if owner == gate_name:
-                top.add_rect(Layers.BOUNDARY, rect)
+        for rect in rects_by_owner.get(gate_name, ()):
+            top.add_rect(Layers.BOUNDARY, rect)
 
     write_gds(layout, path)
     return layout

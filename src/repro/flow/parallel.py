@@ -16,14 +16,31 @@ Results are returned in task order regardless of backend, so parallel
 runs are numerically identical to serial ones.  Consumers below the flow
 layer (metrology, OPC) accept an executor by duck type only — they never
 import this module, preserving the bottom-up layering.
+
+Fault tolerance: a chunk that raises, times out (``chunk_timeout``), or
+loses its worker process (``BrokenProcessPool``) is retried up to
+``retries`` times in a fresh pool, then degraded to serial in-process
+execution as a last resort.  Because chunk boundaries and the worker are
+deterministic, results stay bit-identical to serial whatever failed.
+Every failure/retry/degradation is counted on :attr:`ParallelExecutor.stats`
+and (when the caller passes a ``counters`` dict) on the stage's trace
+record.  :class:`FaultInjection` is the deterministic test hook: it makes
+the first K worker calls fail, machine-wide, via atomically-claimed
+marker files.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Callable, List, Sequence, Tuple
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 BACKENDS = ("serial", "thread", "process")
+
+#: fault kinds the injection hook supports: raise an exception inside the
+#: worker call, or hard-kill the worker process (-> BrokenProcessPool)
+FAULT_KINDS = ("raise", "exit")
 
 
 def split_chunks(items: Sequence[Any], n: int) -> List[List[Any]]:
@@ -40,34 +57,150 @@ def split_chunks(items: Sequence[Any], n: int) -> List[List[Any]]:
     return [c for c in chunks if c]
 
 
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministic worker-fault test hook.
+
+    The first ``fail_first`` worker calls — counted across *all* worker
+    processes via exclusive-create marker files under ``marker_dir`` —
+    fail; every later call (including the retry of a failed chunk) runs
+    normally.  ``kind="raise"`` raises inside the call; ``kind="exit"``
+    kills the worker process outright, breaking the whole pool.
+    """
+
+    marker_dir: str
+    fail_first: int = 1
+    kind: str = "raise"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+    def claim_token(self) -> Optional[int]:
+        """Atomically claim one remaining failure token (None if spent)."""
+        for index in range(self.fail_first):
+            path = os.path.join(self.marker_dir, f"fault-{index}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return index
+        return None
+
+
+def _fault_injected_chunk(payload):
+    """Module-level (picklable) wrapper applying a :class:`FaultInjection`."""
+    (worker, injection, shared), chunk = payload
+    token = injection.claim_token()
+    if token is not None:
+        if injection.kind == "exit":
+            os._exit(43)
+        raise RuntimeError(f"injected worker fault #{token}")
+    return worker((shared, chunk))
+
+
 class ParallelExecutor:
     """Maps a chunk worker over a task list with a configurable backend."""
 
-    def __init__(self, backend: str = "serial", jobs: int = 1):
+    def __init__(
+        self,
+        backend: str = "serial",
+        jobs: int = 1,
+        retries: int = 0,
+        chunk_timeout: Optional[float] = None,
+        fault_injection: Optional[FaultInjection] = None,
+    ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
         self.backend = backend
         self.jobs = jobs
+        self.retries = retries
+        self.chunk_timeout = chunk_timeout
+        self.fault_injection = fault_injection
+        #: cumulative fault-tolerance accounting across all map_chunks calls
+        self.stats: Dict[str, int] = {
+            "chunk_failures": 0,
+            "retries": 0,
+            "degraded_chunks": 0,
+        }
 
     @staticmethod
-    def from_jobs(jobs: int) -> "ParallelExecutor":
+    def from_jobs(
+        jobs: int,
+        retries: int = 0,
+        chunk_timeout: Optional[float] = None,
+    ) -> "ParallelExecutor":
         """The natural executor for a ``--jobs N`` knob."""
         if jobs <= 1:
-            return ParallelExecutor("serial", 1)
-        return ParallelExecutor("process", jobs)
+            return ParallelExecutor("serial", 1, retries=retries,
+                                    chunk_timeout=chunk_timeout)
+        return ParallelExecutor("process", jobs, retries=retries,
+                                chunk_timeout=chunk_timeout)
 
     def __repr__(self):
-        return f"ParallelExecutor(backend={self.backend!r}, jobs={self.jobs})"
+        return (
+            f"ParallelExecutor(backend={self.backend!r}, jobs={self.jobs}, "
+            f"retries={self.retries})"
+        )
 
     # -- dispatch -----------------------------------------------------------
+
+    def _make_pool(self, workers: int):
+        if self.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            return ThreadPoolExecutor(max_workers=workers)
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    def _run_round(
+        self,
+        worker: Callable[[Tuple[Any, List[Any]]], List[Any]],
+        payloads: List[Tuple[Any, List[Any]]],
+        indices: List[int],
+    ) -> Tuple[Dict[int, List[Any]], List[int]]:
+        """One pool pass over ``indices``; returns (successes, failures).
+
+        Any per-chunk exception, timeout, or pool breakage marks that
+        chunk failed and never propagates out of the round.
+        """
+        successes: Dict[int, List[Any]] = {}
+        failures: List[int] = []
+        pool = self._make_pool(len(indices))
+        clean_shutdown = True
+        try:
+            futures = [(idx, pool.submit(worker, payloads[idx])) for idx in indices]
+            for idx, future in futures:
+                try:
+                    successes[idx] = future.result(timeout=self.chunk_timeout)
+                except Exception:
+                    # Chunk exception, TimeoutError, or BrokenProcessPool
+                    # (which also fails every later future of this pool).
+                    failures.append(idx)
+                    clean_shutdown = False
+        finally:
+            # After a timeout or broken pool, waiting for stragglers could
+            # block forever; abandon them and let the retry use a new pool.
+            pool.shutdown(wait=clean_shutdown, cancel_futures=not clean_shutdown)
+        return successes, failures
 
     def map_chunks(
         self,
         worker: Callable[[Tuple[Any, List[Any]]], List[Any]],
         shared: Any,
         tasks: Sequence[Any],
+        counters: Optional[Dict[str, float]] = None,
     ) -> List[Any]:
         """Run ``worker((shared, chunk))`` over chunks of ``tasks``.
 
@@ -75,28 +208,49 @@ class ParallelExecutor:
         result per task, in order; ``shared`` is the per-chunk payload
         (typically the simulator) shipped once per worker.  The flattened,
         task-ordered result list is returned.
+
+        Failed chunks are retried up to :attr:`retries` times, then run
+        serially in-process; ``counters`` (a stage's trace counters dict)
+        receives ``worker_failures`` / ``worker_retries`` /
+        ``worker_degraded`` when provided.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        if self.fault_injection is not None:
+            shared = (worker, self.fault_injection, shared)
+            worker = _fault_injected_chunk
         if self.backend == "serial" or self.jobs == 1 or len(tasks) == 1:
             return list(worker((shared, tasks)))
 
         chunks = split_chunks(tasks, self.jobs)
         payloads = [(shared, chunk) for chunk in chunks]
-        if self.backend == "thread":
-            from concurrent.futures import ThreadPoolExecutor
+        results: Dict[int, List[Any]] = {}
+        pending = list(range(len(chunks)))
+        failures = retried = degraded = 0
 
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                chunk_results = list(pool.map(worker, payloads))
-        else:
-            from concurrent.futures import ProcessPoolExecutor
+        successes, failed = self._run_round(worker, payloads, pending)
+        results.update(successes)
+        failures += len(failed)
+        for _ in range(self.retries):
+            if not failed:
+                break
+            retried += len(failed)
+            successes, failed = self._run_round(worker, payloads, failed)
+            results.update(successes)
+            failures += len(failed)
 
-            context = None
-            if "fork" in multiprocessing.get_all_start_methods():
-                context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=len(chunks), mp_context=context
-            ) as pool:
-                chunk_results = list(pool.map(worker, payloads))
-        return [result for chunk in chunk_results for result in chunk]
+        # Last resort: the failed chunks run serially in this process, in
+        # chunk order, preserving the task-ordered output exactly.
+        for idx in sorted(failed):
+            degraded += 1
+            results[idx] = list(worker(payloads[idx]))
+
+        self.stats["chunk_failures"] += failures
+        self.stats["retries"] += retried
+        self.stats["degraded_chunks"] += degraded
+        if counters is not None:
+            counters["worker_failures"] = counters.get("worker_failures", 0) + failures
+            counters["worker_retries"] = counters.get("worker_retries", 0) + retried
+            counters["worker_degraded"] = counters.get("worker_degraded", 0) + degraded
+        return [result for idx in range(len(chunks)) for result in results[idx]]

@@ -179,7 +179,9 @@ class PostOpcTimingFlow:
         self.simulator = simulator or LithographySimulator.for_tech(tech)
         self.simulator.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
         self.executor = executor or ParallelExecutor.from_jobs(jobs)
-        self.context = context or FlowContext()
+        # Not `context or ...`: FlowContext has __len__, so an *empty*
+        # (e.g. freshly-opened persistent) context is falsy.
+        self.context = context if context is not None else FlowContext()
         self.graph = graph or default_stage_graph()
         self.fingerprint = self._fingerprint()
         self._placement: Optional[Placement] = None
@@ -381,7 +383,8 @@ class PostOpcTimingFlow:
                 ))
                 tile_targets.append(local)
                 pending.difference_update(local)
-        results = self.executor.map_chunks(correct_tile_chunk, self.simulator, tasks)
+        results = self.executor.map_chunks(correct_tile_chunk, self.simulator, tasks,
+                                           counters=counters)
         out = list(base)
         for local, corrected in zip(tile_targets, results):
             for idx, poly in zip(local, corrected):

@@ -168,9 +168,9 @@ class MetrologyStage(FlowStage):
         condition_fn = None
         if config.process_map is not None:
             process_map = config.process_map
-            condition_fn = lambda interior: process_map.condition_at(
-                *interior.center.as_tuple()
-            )
+
+            def condition_fn(interior):
+                return process_map.condition_at(*interior.center.as_tuple())
         tasks = plan_metrology_tiles(
             flow.simulator,
             artifacts["mask_polygons"],
@@ -180,7 +180,7 @@ class MetrologyStage(FlowStage):
             condition_fn=condition_fn,
         )
         tile_results = flow.executor.map_chunks(
-            measure_tile_chunk, flow.simulator, tasks
+            measure_tile_chunk, flow.simulator, tasks, counters=counters
         )
         measurements: Dict[Any, Any] = {}
         for measured in tile_results:
@@ -319,7 +319,8 @@ class StageGraph:
                 context.count_hit(stage.name)
                 stage.install(flow, outputs)
                 trace.add(stage.name, time.perf_counter() - start,
-                          cache_hit=True, counters=counters)
+                          cache_hit=True, counters=counters,
+                          cache_source=context.last_hit_source)
             else:
                 context.count_miss(stage.name)
                 counters: Dict[str, float] = {}

@@ -4,7 +4,10 @@ The paper's analysis is inherently comparative — the same design under
 none / rule / model / selective OPC, or across process conditions.  A
 :class:`FlowSweep` runs each configuration through the same flow and
 artifact context, so the placement, drawn STA, tagging and rule-OPC base
-are computed once and served from cache for every subsequent mode.
+are computed once and served from cache for every subsequent mode.  Give
+the flow a persistent context (``FlowContext(cache_dir=...)``) and the
+sharing extends across processes: a rerun sweep serves every unchanged
+stage as a disk hit.
 """
 
 from __future__ import annotations

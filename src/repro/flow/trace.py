@@ -23,13 +23,17 @@ class StageRecord:
     wall_s: float
     cache_hit: bool = False
     #: stage-specific integers/floats: tiles, polygons, gates, endpoints...
+    #: (fault-tolerant dispatch adds worker_failures/retries/degraded here)
     counters: Dict[str, float] = field(default_factory=dict)
+    #: which cache tier served a hit ("memory" | "disk"); None for live runs
+    cache_source: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "wall_s": self.wall_s,
             "cache_hit": self.cache_hit,
+            "cache_source": self.cache_source,
             "counters": dict(self.counters),
         }
 
@@ -46,8 +50,10 @@ class FlowTrace:
         wall_s: float,
         cache_hit: bool = False,
         counters: Optional[Dict[str, float]] = None,
+        cache_source: Optional[str] = None,
     ) -> StageRecord:
-        record = StageRecord(name, wall_s, cache_hit, dict(counters or {}))
+        record = StageRecord(name, wall_s, cache_hit, dict(counters or {}),
+                             cache_source)
         self.records.append(record)
         return record
 
@@ -108,7 +114,10 @@ class FlowTrace:
         lines = []
         for record in self.records:
             extras = ", ".join(f"{k}={v:g}" for k, v in sorted(record.counters.items()))
-            hit = " (cached)" if record.cache_hit else ""
+            hit = ""
+            if record.cache_hit:
+                tier = f":{record.cache_source}" if record.cache_source else ""
+                hit = f" (cached{tier})"
             suffix = f" [{extras}]" if extras else ""
             lines.append(f"{record.name:<14} {record.wall_s:8.3f}s{hit}{suffix}")
         lines.append(

@@ -9,7 +9,7 @@ within a group behaves like random CD noise).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Hashable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 

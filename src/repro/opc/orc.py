@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.geometry import Fragment, Point, Polygon, Rect, fragment_polygon
+from repro.geometry import Point, Polygon, Rect, fragment_polygon
 from repro.litho.resist import NOMINAL, ProcessCondition
 from repro.litho.simulator import LithographySimulator
 from repro.opc.model_based import measure_epes

@@ -8,7 +8,7 @@ systematic residuals that the paper's flow extracts and back-annotates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry import (

@@ -8,7 +8,7 @@ extracted equivalent lengths — no library re-characterization needed.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.cells import CellLibrary
 from repro.circuits import Netlist

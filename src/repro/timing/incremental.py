@@ -14,10 +14,9 @@ intersects the change set is in the recomputed cone by construction.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Set
+from typing import Mapping, Optional, Set
 
 from repro.timing.sta import (
-    Endpoint,
     InstanceDerate,
     StaEngine,
     StaResult,

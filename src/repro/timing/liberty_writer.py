@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingTable
+from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingTable
 
 
 def write_liberty(library: LibertyLibrary) -> str:
@@ -26,7 +26,7 @@ def write_liberty(library: LibertyLibrary) -> str:
     template = _template_of(library)
     if template is not None:
         slews, loads = template
-        out.append(f"  lu_table_template (delay_template) {{")
+        out.append("  lu_table_template (delay_template) {")
         out.append("    variable_1 : input_net_transition;")
         out.append("    variable_2 : total_output_net_capacitance;")
         out.append(f"    index_1 ({_values(slews)});")
@@ -66,7 +66,7 @@ def _cell_lines(cell: LibertyCell) -> List[str]:
         for arc in cell.arcs:
             if arc.output_pin != output:
                 continue
-            lines.append(f"      timing () {{")
+            lines.append("      timing () {")
             lines.append(f"        related_pin : \"{arc.input_pin}\";")
             lines.append(f"        timing_sense : {arc.sense}_unate;"
                          if arc.sense != "non_unate"

@@ -15,7 +15,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.cells import CellLibrary
 from repro.circuits import Netlist
 from repro.device import AlphaPowerModel
 from repro.place.placer import Placement
@@ -50,13 +49,23 @@ DEFAULT_CORNERS = (
 
 @dataclass
 class MonteCarloResult:
-    """WNS samples plus summary statistics."""
+    """WNS samples plus summary statistics.
+
+    All statistics raise ``ValueError("no samples")`` on an empty result
+    (e.g. ``run_monte_carlo(samples=0)``) rather than surfacing as
+    ``ZeroDivisionError``/``ValueError`` from the arithmetic.
+    """
 
     wns_samples: List[float] = field(default_factory=list)
     critical_delay_samples: List[float] = field(default_factory=list)
 
+    def _require_samples(self) -> None:
+        if not self.wns_samples:
+            raise ValueError("no samples")
+
     @property
     def mean_wns(self) -> float:
+        self._require_samples()
         return sum(self.wns_samples) / len(self.wns_samples)
 
     @property
@@ -66,12 +75,21 @@ class MonteCarloResult:
 
     @property
     def min_wns(self) -> float:
+        self._require_samples()
         return min(self.wns_samples)
 
     def percentile_wns(self, q: float) -> float:
+        """Nearest-rank percentile: the ceil(q/100 * n)-th order statistic.
+
+        The previous ``int(q/100 * n)`` truncation was biased one rank
+        high (q=50 over 10 samples picked the 6th order statistic).
+        """
+        self._require_samples()
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
         ordered = sorted(self.wns_samples)
-        index = min(int(q / 100.0 * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        index = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[min(index, len(ordered) - 1)]
 
 
 def derate_for_delta_l(cell, delta_l: float, model: AlphaPowerModel) -> InstanceDerate:

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cells import CellLibrary
 from repro.circuits import Netlist
-from repro.timing.paths import TimingPath, top_paths
+from repro.timing.paths import top_paths
 from repro.timing.sta import StaResult
 
 

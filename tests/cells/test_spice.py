@@ -39,8 +39,8 @@ class TestSpiceSubckt:
 
     def test_mos_models_and_bulk(self, lib):
         deck = write_spice_subckt(lib["INV_X1"])
-        nmos = next(l for l in deck.splitlines() if l.startswith("MMN0"))
-        pmos = next(l for l in deck.splitlines() if l.startswith("MMP0"))
+        nmos = next(line for line in deck.splitlines() if line.startswith("MMN0"))
+        pmos = next(line for line in deck.splitlines() if line.startswith("MMP0"))
         assert "nch" in nmos and nmos.split()[3] == "VSS"
         assert "pch" in pmos and pmos.split()[3] == "VDD"
 

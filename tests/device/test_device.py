@@ -1,6 +1,5 @@
 """Tests for the MOSFET model and non-rectangular-gate extraction."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -1,5 +1,7 @@
 """Tests for GDS export of flow artifacts."""
 
+import dataclasses
+
 import pytest
 
 from repro.cells import build_library
@@ -38,6 +40,23 @@ class TestExport:
         recovered = sorted(round(p.bbox.x0, 1)
                            for p in back["FLOW"].polygons_on(Layers.POLY))
         assert original == recovered
+
+    def test_failed_gate_markers(self, flow, report, tmp_path):
+        # Mark one gate failed: exactly its gate rects land on BOUNDARY.
+        owner = next(iter(flow.gate_rects))[0]
+        expected = sum(1 for (name, _) in flow.gate_rects if name == owner)
+        marked = dataclasses.replace(report, failed_gates=[owner])
+        path = str(tmp_path / "failed.gds")
+        export_flow_gds(flow, marked, path)
+        back = read_gds(path)
+        assert len(back["FLOW"].polygons_on(Layers.BOUNDARY)) == expected
+        assert expected > 0
+
+    def test_no_markers_without_failures(self, flow, report, tmp_path):
+        path = str(tmp_path / "clean.gds")
+        export_flow_gds(flow, report, path)
+        assert report.failed_gates == []
+        assert not read_gds(path)["FLOW"].polygons_on(Layers.BOUNDARY)
 
     def test_contours_on_request(self, flow, report, tmp_path):
         path = str(tmp_path / "contours.gds")

@@ -1,0 +1,148 @@
+"""Tests for fault-tolerant parallel dispatch.
+
+A chunk that raises, hard-kills its worker (BrokenProcessPool), or times
+out is retried in a fresh pool and finally degraded to serial in-process
+execution; results stay bit-identical to the serial reference and every
+failure is counted on the executor and the stage trace.  Faults are
+injected deterministically through the :class:`FaultInjection` hook.
+"""
+
+import time
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import c17
+from repro.flow import FaultInjection, FlowConfig, ParallelExecutor, PostOpcTimingFlow
+from repro.litho import LithographySimulator
+from repro.pdk import make_tech_90nm
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+def _scale_chunk(payload):
+    """Module-level so the process backend can pickle it."""
+    shared, chunk = payload
+    return [shared * x for x in chunk]
+
+
+def _slow_scale_chunk(payload):
+    """Sleeps ``delay`` seconds once (first marker claim), then is fast."""
+    (injection, delay, factor), chunk = payload
+    if injection.claim_token() is not None:
+        time.sleep(delay)
+    return [factor * x for x in chunk]
+
+
+def small_tile_simulator(tech):
+    """A simulator whose tile grid splits even c17 into many tiles."""
+    sim = LithographySimulator.for_tech(tech, ambit=600.0, max_tile_px=192)
+    sim.calibrate_to_anchor(tech.rules.gate_length, tech.rules.poly_pitch)
+    return sim
+
+
+TASKS = list(range(13))
+EXPECTED = [3 * x for x in TASKS]
+
+
+class TestExecutorRetry:
+    def test_injected_raise_is_retried(self, tmp_path):
+        ex = ParallelExecutor("process", 2, retries=2,
+                              fault_injection=FaultInjection(str(tmp_path), 1))
+        assert ex.map_chunks(_scale_chunk, 3, TASKS) == EXPECTED
+        assert ex.stats["chunk_failures"] == 1
+        assert ex.stats["retries"] == 1
+        assert ex.stats["degraded_chunks"] == 0
+
+    def test_thread_backend_retries_too(self, tmp_path):
+        ex = ParallelExecutor("thread", 2, retries=1,
+                              fault_injection=FaultInjection(str(tmp_path), 1))
+        assert ex.map_chunks(_scale_chunk, 3, TASKS) == EXPECTED
+        assert ex.stats["retries"] == 1
+
+    def test_exhausted_retries_degrade_to_serial(self, tmp_path):
+        ex = ParallelExecutor("process", 2, retries=0,
+                              fault_injection=FaultInjection(str(tmp_path), 1))
+        assert ex.map_chunks(_scale_chunk, 3, TASKS) == EXPECTED
+        assert ex.stats["degraded_chunks"] == 1
+
+    def test_worker_crash_breaks_pool_and_recovers(self, tmp_path):
+        injection = FaultInjection(str(tmp_path), 1, kind="exit")
+        ex = ParallelExecutor("process", 3, retries=2, fault_injection=injection)
+        assert ex.map_chunks(_scale_chunk, 3, TASKS) == EXPECTED
+        assert ex.stats["chunk_failures"] >= 1
+        assert ex.stats["retries"] >= 1
+
+    def test_counters_dict_receives_accounting(self, tmp_path):
+        ex = ParallelExecutor("process", 2, retries=1,
+                              fault_injection=FaultInjection(str(tmp_path), 1))
+        counters = {}
+        ex.map_chunks(_scale_chunk, 3, TASKS, counters=counters)
+        assert counters["worker_failures"] == 1
+        assert counters["worker_retries"] == 1
+        assert counters["worker_degraded"] == 0
+
+    def test_persistent_fault_exhausts_and_propagates(self, tmp_path):
+        # More faults than (first try + retries + serial fallback) calls of
+        # the failing chunk: even the degraded serial run raises.
+        ex = ParallelExecutor("process", jobs=1, retries=0,
+                              fault_injection=FaultInjection(str(tmp_path), 99))
+        with pytest.raises(RuntimeError, match="injected"):
+            ex.map_chunks(_scale_chunk, 3, TASKS)
+
+    def test_chunk_timeout_fails_and_retries(self, tmp_path):
+        ex = ParallelExecutor("process", 2, retries=1, chunk_timeout=0.8)
+        shared = (FaultInjection(str(tmp_path), 1), 4.0, 3)
+        assert ex.map_chunks(_slow_scale_chunk, shared, TASKS) == EXPECTED
+        assert ex.stats["chunk_failures"] == 1
+        assert ex.stats["retries"] == 1
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor("process", 2, retries=-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor("process", 2, chunk_timeout=0.0)
+        with pytest.raises(ValueError):
+            FaultInjection("/tmp", 1, kind="segfault")
+
+
+class TestFaultTolerantFlow:
+    def test_crashed_worker_flow_matches_serial(self, tech, lib, tmp_path):
+        """The acceptance scenario: an injected first-call worker crash,
+        and the run completes bit-identical to serial with the retry
+        recorded in the trace."""
+        config = FlowConfig(opc_mode="none", clock_period_ps=500)
+        serial = PostOpcTimingFlow(c17(lib), tech, cells=lib,
+                                   simulator=small_tile_simulator(tech))
+        ref = serial.run(config)
+        assert ref.trace.record_for("metrology").counters["tiles"] > 1
+
+        executor = ParallelExecutor(
+            "process", 2, retries=2,
+            fault_injection=FaultInjection(str(tmp_path), 1),
+        )
+        faulty = PostOpcTimingFlow(c17(lib), tech, cells=lib,
+                                   simulator=small_tile_simulator(tech),
+                                   executor=executor)
+        got = faulty.run(config)
+
+        assert got.wns_post == ref.wns_post
+        assert got.wns_drawn == ref.wns_drawn
+        assert got.leakage_post == ref.leakage_post
+        assert got.measurements.keys() == ref.measurements.keys()
+        for name, m in ref.measurements.items():
+            assert got.measurements[name].slice_cds == m.slice_cds
+
+        counters = got.trace.record_for("metrology").counters
+        assert counters["worker_failures"] == 1
+        assert counters["worker_retries"] == 1
+        assert counters["worker_degraded"] == 0
+        assert executor.stats["retries"] == 1

@@ -94,8 +94,6 @@ class TestFlowRuleOpc:
 
 class TestCriticalTagging:
     def test_critical_gates_on_worst_paths(self, c17_flow):
-        report_config = FlowConfig(opc_mode="none", clock_period_ps=500,
-                                   n_critical_paths=1)
         sta = c17_flow.engine.run()
         critical = c17_flow.tag_critical_gates(sta, 1)
         assert critical  # c17's worst path has gates

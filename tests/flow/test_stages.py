@@ -20,7 +20,6 @@ from repro.flow import (
     FlowTrace,
     ParallelExecutor,
     PostOpcTimingFlow,
-    default_stage_graph,
     split_chunks,
     stable_hash,
 )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gds import Cell, Layout
-from repro.geometry import Polygon, Rect, Transform
+from repro.geometry import Rect, Transform
 
 POLY = (10, 0)
 METAL1 = (30, 0)

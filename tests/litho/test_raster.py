@@ -48,9 +48,9 @@ class TestRasterize:
         assert grid.data.sum() * 64 == pytest.approx(rect.area)
 
     def test_l_shape_area_preserved(self):
-        l = Polygon.from_xy([(0, 0), (100, 0), (100, 40), (40, 40), (40, 100), (0, 100)])
-        grid = rasterize([l], Rect(-8, -8, 120, 120), 8.0)
-        assert grid.data.sum() * 64 == pytest.approx(l.area)
+        ell = Polygon.from_xy([(0, 0), (100, 0), (100, 40), (40, 40), (40, 100), (0, 100)])
+        grid = rasterize([ell], Rect(-8, -8, 120, 120), 8.0)
+        assert grid.data.sum() * 64 == pytest.approx(ell.area)
 
     def test_pixel_aligned_rect_is_binary(self):
         grid = rasterize([Polygon.from_rect(Rect(8, 8, 24, 24))], Rect(0, 0, 32, 32), 8.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry import Point, Polygon, Rect
+from repro.geometry import Point
 from repro.litho import AerialImage, ResistModel, marching_squares
 from repro.litho.contour import contours_of_latent
 from repro.litho.resist import ProcessCondition

@@ -1,6 +1,5 @@
 """Tests for the high-level lithography simulator."""
 
-import dataclasses
 
 import pytest
 

@@ -8,7 +8,6 @@ from repro.circuits import inverter_chain
 from repro.geometry import Rect
 from repro.litho import AerialImage, LithographySimulator
 from repro.metrology import (
-    CdStatistics,
     measure_gate_cds,
     measure_layout_gate_cds,
     select_sites,

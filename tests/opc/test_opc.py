@@ -14,7 +14,6 @@ from repro.opc import (
     insert_srafs,
     run_orc,
 )
-from repro.opc.orc import OrcLimits
 from repro.opc.rules import _NeighbourField
 from repro.geometry import Fragment, FragmentKind
 from repro.pdk import make_tech_90nm

@@ -18,8 +18,8 @@ class TestPolygonMinWidth:
         assert polygon_min_width(rect_poly(0, 0, 90, 600)) == 90
 
     def test_l_shape_arm_width(self):
-        l = Polygon.from_xy([(0, 0), (400, 0), (400, 100), (100, 100), (100, 400), (0, 400)])
-        assert polygon_min_width(l) == 100
+        ell = Polygon.from_xy([(0, 0), (400, 0), (400, 100), (100, 100), (100, 400), (0, 400)])
+        assert polygon_min_width(ell) == 100
 
     def test_step_does_not_create_false_thinness(self):
         # A tall block with a small step; narrowest true chord is 300.

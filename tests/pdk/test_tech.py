@@ -70,7 +70,8 @@ class TestTech130:
         tech = make_tech_130nm()
         lib = build_library(tech)
         for cell in lib:
-            shapes = {l: cell.layout.polygons_on(l) for l in cell.layout.layers()}
+            shapes = {layer: cell.layout.polygons_on(layer)
+                      for layer in cell.layout.layers()}
             assert run_drc(shapes, tech.rules) == [], cell.name
 
     def test_anchor_calibrates(self):

@@ -1,6 +1,5 @@
 """Cross-module property-based tests on core invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -79,12 +78,12 @@ class TestLibertyTableInvariants:
         slews = tuple(sorted(slews))
         loads = tuple(sorted(loads))
         values = tuple(
-            tuple(10 + 0.1 * s + 2.0 * l for l in loads) for s in slews
+            tuple(10 + 0.1 * s + 2.0 * c for c in loads) for s in slews
         )
         table = TimingTable(slews, loads, values)
         s = slews[0] + ts * (slews[-1] - slews[0])
-        l = loads[0] + tl * (loads[-1] - loads[0])
-        got = table.lookup(s, l)
+        load = loads[0] + tl * (loads[-1] - loads[0])
+        got = table.lookup(s, load)
         flat = [v for row in values for v in row]
         assert min(flat) - 1e-9 <= got <= max(flat) + 1e-9
 

@@ -1,0 +1,88 @@
+"""Regression tests for MonteCarloResult statistics.
+
+Pins the empty-result behaviour (a clear ``ValueError("no samples")``
+instead of ``ZeroDivisionError``/bare ``ValueError`` from the arithmetic)
+and the nearest-rank percentile definition (the old ``int`` truncation
+was biased one order statistic high).
+"""
+
+import pytest
+
+from repro.cells import build_library
+from repro.circuits import inverter_chain
+from repro.device import AlphaPowerModel
+from repro.pdk import make_tech_90nm
+from repro.timing import StaEngine, characterize_library, run_monte_carlo
+from repro.timing.mc import MonteCarloResult
+
+
+@pytest.fixture(scope="module")
+def empty():
+    return MonteCarloResult()
+
+
+class TestEmptyResult:
+    def test_mean_raises_clearly(self, empty):
+        with pytest.raises(ValueError, match="no samples"):
+            empty.mean_wns
+
+    def test_sigma_raises_clearly(self, empty):
+        with pytest.raises(ValueError, match="no samples"):
+            empty.sigma_wns
+
+    def test_min_raises_clearly(self, empty):
+        with pytest.raises(ValueError, match="no samples"):
+            empty.min_wns
+
+    def test_percentile_raises_clearly(self, empty):
+        with pytest.raises(ValueError, match="no samples"):
+            empty.percentile_wns(50)
+
+    def test_zero_sample_run_returns_empty_result(self):
+        tech = make_tech_90nm()
+        lib = build_library(tech)
+        model = AlphaPowerModel(tech.device)
+        engine = StaEngine(inverter_chain(2), lib,
+                           characterize_library(lib, model), None)
+        result = run_monte_carlo(engine, model, samples=0)
+        assert result.wns_samples == []
+        with pytest.raises(ValueError, match="no samples"):
+            result.mean_wns
+
+
+class TestNearestRankPercentile:
+    @pytest.fixture(scope="class")
+    def ten(self):
+        # Deliberately unsorted: percentile must sort internally.
+        return MonteCarloResult(wns_samples=[7.0, 2.0, 9.0, 4.0, 1.0,
+                                             8.0, 3.0, 10.0, 5.0, 6.0])
+
+    def test_median_is_fifth_order_statistic(self, ten):
+        # Nearest rank: ceil(0.5 * 10) = 5th smallest, not the 6th.
+        assert ten.percentile_wns(50) == 5.0
+
+    def test_q0_is_minimum(self, ten):
+        assert ten.percentile_wns(0) == 1.0
+
+    def test_q100_is_maximum(self, ten):
+        assert ten.percentile_wns(100) == 10.0
+
+    def test_intermediate_rank(self, ten):
+        assert ten.percentile_wns(30) == 3.0  # ceil(3.0) = 3rd smallest
+        assert ten.percentile_wns(31) == 4.0  # ceil(3.1) = 4th smallest
+
+    def test_single_sample_any_q(self):
+        one = MonteCarloResult(wns_samples=[42.0])
+        for q in (0, 25, 50, 75, 100):
+            assert one.percentile_wns(q) == 42.0
+
+    def test_out_of_range_q_rejected(self, ten):
+        with pytest.raises(ValueError, match="percentile"):
+            ten.percentile_wns(-1)
+        with pytest.raises(ValueError, match="percentile"):
+            ten.percentile_wns(101)
+
+    def test_summary_stats_still_work(self, ten):
+        assert ten.mean_wns == pytest.approx(5.5)
+        assert ten.min_wns == 1.0
+        assert ten.sigma_wns == pytest.approx(2.8722813, rel=1e-6)

@@ -5,7 +5,6 @@ import pytest
 from repro.cells import build_library
 from repro.circuits import Netlist, c17, inverter_chain, ripple_carry_adder
 from repro.device import AlphaPowerModel
-from repro.geometry import Rect
 from repro.metrology.gate_cd import GateCdMeasurement
 from repro.pdk import make_tech_90nm
 from repro.place import place_rows

@@ -5,7 +5,7 @@ import pytest
 
 from repro.geometry import Rect
 from repro.litho import LithographySimulator, bossung_data, extract_process_window
-from repro.litho.window import BossungData, ProcessWindow
+from repro.litho.window import BossungData
 from repro.metrology.gate_cd import GateCdMeasurement
 from repro.pdk import make_tech_90nm
 from repro.variation import apply_ler
