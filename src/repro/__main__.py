@@ -12,6 +12,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.cells import build_library
@@ -45,21 +46,53 @@ def _make_design(name: str, library):
 
 
 def _make_flow_engine(args):
-    """Shared flow/sweep setup: context (persistent if asked) + executor."""
-    from repro.flow import FlowContext, ParallelExecutor
+    """Shared flow/sweep setup: context (persistent if asked) + executor.
+
+    A ``--run-dir`` without an explicit ``--cache-dir`` keeps the
+    artifact cache inside the run directory, so the journal and the
+    artifacts it references travel (and resume) together.
+    """
+    from repro.flow import FlowContext, ParallelExecutor, RunJournal
 
     max_bytes = None
     if getattr(args, "cache_size_mb", None):
         max_bytes = int(args.cache_size_mb * 1e6)
-    context = FlowContext(cache_dir=args.cache_dir, max_disk_bytes=max_bytes)
+    cache_dir = args.cache_dir
+    if cache_dir is None and getattr(args, "run_dir", None):
+        cache_dir = os.path.join(args.run_dir, RunJournal.CACHE_SUBDIR)
+    context = FlowContext(cache_dir=cache_dir, max_disk_bytes=max_bytes)
     executor = ParallelExecutor.from_jobs(
         args.jobs, retries=args.retries, chunk_timeout=args.chunk_timeout
     )
     return context, executor
 
 
+def _open_journal(args, flow, config, command):
+    """Create (or resume) the run journal for a ``--run-dir`` invocation."""
+    from repro.flow import InputValidationError, RunJournal, stable_hash
+
+    if not getattr(args, "run_dir", None):
+        if getattr(args, "resume", False):
+            raise InputValidationError("resume", "--resume requires --run-dir")
+        return None
+    manifest = {
+        "command": command,
+        "design": args.design,
+        "fingerprint": flow.fingerprint,
+        "config_hash": stable_hash(config),
+    }
+    if args.resume:
+        return RunJournal.resume(args.run_dir, manifest)
+    return RunJournal.create(args.run_dir, manifest)
+
+
 def cmd_flow(args) -> int:
-    from repro.flow import FlowConfig, PostOpcTimingFlow
+    from repro.flow import (
+        FlowConfig,
+        FlowInterrupted,
+        InterruptGuard,
+        PostOpcTimingFlow,
+    )
 
     tech = make_tech_90nm()
     library = build_library(tech)
@@ -69,9 +102,31 @@ def cmd_flow(args) -> int:
                              executor=executor, context=context)
     # clock_period_ps=None derives the period from the flow's own drawn-STA
     # stage (one STA, served from the artifact cache — not a warm-up run).
-    report = flow.run(FlowConfig(opc_mode=args.opc, clock_period_ps=args.period,
-                                 n_critical_paths=args.paths))
+    config = FlowConfig(opc_mode=args.opc, clock_period_ps=args.period,
+                        n_critical_paths=args.paths,
+                        max_quarantine_fraction=args.max_quarantine_fraction)
+    journal = _open_journal(args, flow, config, "flow")
+    try:
+        with InterruptGuard() as guard:
+            report = flow.run(config, journal=journal, interrupt=guard)
+    except Exception as exc:
+        if journal is not None:
+            if not isinstance(exc, FlowInterrupted):
+                journal.record_failed(exc)  # interruption already journaled
+            journal.close()
+        raise
     print(report.summary())
+    if journal is not None:
+        journal.record_complete(
+            wns_drawn=report.wns_drawn,
+            wns_post=report.wns_post,
+            coverage=report.coverage,
+            quarantined_gates=len(report.quarantined_gates),
+            cached_stages=report.trace.cache_hits,
+        )
+        journal.close()
+        print(f"journal: {journal.path} "
+              f"({report.trace.cache_hits} stages replayed from cache)")
     if args.cache_dir:
         print(f"cache: {context.summary()}")
     if args.trace:
@@ -86,7 +141,13 @@ def cmd_flow(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.flow import FlowConfig, FlowSweep, PostOpcTimingFlow
+    from repro.flow import (
+        FlowConfig,
+        FlowInterrupted,
+        FlowSweep,
+        InterruptGuard,
+        PostOpcTimingFlow,
+    )
 
     tech = make_tech_90nm()
     library = build_library(tech)
@@ -94,23 +155,44 @@ def cmd_sweep(args) -> int:
     context, executor = _make_flow_engine(args)
     flow = PostOpcTimingFlow(netlist, tech, cells=library,
                              executor=executor, context=context)
-    result = FlowSweep(flow).run(FlowConfig(
+    base = FlowConfig(
         opc_mode="none", clock_period_ps=args.period,
         n_critical_paths=args.paths,
-    ))
+        max_quarantine_fraction=args.max_quarantine_fraction,
+    )
+    journal = _open_journal(args, flow, base, "sweep")
+    try:
+        with InterruptGuard() as guard:
+            result = FlowSweep(flow).run(base, journal=journal, interrupt=guard)
+    except Exception as exc:
+        if journal is not None:
+            if not isinstance(exc, FlowInterrupted):
+                journal.record_failed(exc)
+            journal.close()
+        raise
     print(result.table())
     print(f"context: {result.cache_summary()}")
+    if journal is not None:
+        journal.record_complete(
+            modes_ok=sorted(result.reports),
+            modes_failed=sorted(result.failures),
+        )
+        journal.close()
+        print(f"journal: {journal.path}")
     if args.trace:
         import json
 
         payload = {mode: report.trace.as_dict()
                    for mode, report in result.reports.items()}
         payload["context"] = flow.context.stats()
+        payload["failures"] = dict(result.failures)
         with open(args.trace, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         print(f"wrote trace {args.trace}")
-    return 0
+    # Partial failure is still a usable sweep; only a sweep with zero
+    # surviving modes counts as failed.
+    return 1 if (result.failures and not result.reports) else 0
 
 
 def cmd_sta(args) -> int:
@@ -182,7 +264,18 @@ def cmd_litho(args) -> int:
 
 
 def _add_durability_args(sub) -> None:
-    """Persistent-cache and fault-tolerance knobs shared by flow/sweep."""
+    """Persistent-cache, journal and fault-tolerance knobs shared by
+    flow/sweep.  Exit codes: 0 ok, 2 interrupted (SIGINT/SIGTERM), 3
+    input validation, 4 quarantine threshold exceeded."""
+    sub.add_argument("--run-dir", default=None,
+                     help="run directory: append-only journal.jsonl plus the "
+                          "artifact cache (unless --cache-dir overrides it)")
+    sub.add_argument("--resume", action="store_true",
+                     help="continue an interrupted run from its --run-dir "
+                          "journal + cache instead of recomputing")
+    sub.add_argument("--max-quarantine-fraction", type=float, default=0.5,
+                     help="abort (exit 4) when more than this fraction of "
+                          "gates fell back to drawn CDs (default 0.5)")
     sub.add_argument("--cache-dir", default=None,
                      help="persist flow artifacts here; later runs (or other "
                           "processes) serve them as disk hits")
@@ -252,7 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # The structured FlowError taxonomy carries its own exit code
+        # (2 interrupted, 3 validation, 4 quarantine, 1 other FlowError);
+        # anything else keeps the raw traceback.
+        exit_code = getattr(exc, "exit_code", None)
+        if isinstance(exit_code, int):
+            print(f"error: {exc}", file=sys.stderr)
+            return exit_code
+        raise
 
 
 if __name__ == "__main__":

@@ -34,6 +34,23 @@ def flow_report_markdown(report) -> str:
     for center, count in histogram_of_errors(report.measurements, bin_width=2.0):
         lines.append(f"| {center:+.0f} | {count} |")
 
+    coverage = getattr(report, "coverage", 1.0)
+    quarantined = list(getattr(report, "quarantined_gates", []) or [])
+    reasons = getattr(report, "quarantine_reasons", {}) or {}
+    lines += [
+        "",
+        f"Extraction coverage: **{coverage:.1%}** of gate instances "
+        f"({len(quarantined)} quarantined to drawn CDs).",
+    ]
+    if quarantined:
+        lines += [
+            "",
+            "| quarantined gate | reason |",
+            "|---|---|",
+        ]
+        for gate in sorted(quarantined):
+            lines.append(f"| `{gate}` | {reasons.get(gate, 'unknown')} |")
+
     lines += [
         "",
         "## Worst-case slack",

@@ -3,12 +3,28 @@
 The flow is a stage graph (:mod:`repro.flow.stages`) over a
 content-addressed artifact cache (:mod:`repro.flow.context`), with the
 tile-parallel inner loops dispatched by :mod:`repro.flow.parallel` and
-per-stage observability in :mod:`repro.flow.trace`.
-:class:`PostOpcTimingFlow` assembles the default graph;
-:class:`FlowSweep` runs many OPC modes against one shared context.
+per-stage observability in :mod:`repro.flow.trace`.  Run durability —
+the append-only run journal, resume, and graceful interruption — lives
+in :mod:`repro.flow.journal`, with the structured failure taxonomy in
+:mod:`repro.flow.errors`.  :class:`PostOpcTimingFlow` assembles the
+default graph; :class:`FlowSweep` runs many OPC modes against one shared
+context.
 """
 
 from repro.flow.context import FlowContext, stable_hash
+from repro.flow.errors import (
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    EXIT_VALIDATION,
+    FlowError,
+    FlowInterrupted,
+    InputValidationError,
+    QuarantineExceededError,
+    StageError,
+)
+from repro.flow.journal import InterruptGuard, RunJournal
 from repro.flow.parallel import FaultInjection, ParallelExecutor, split_chunks
 from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
 from repro.flow.stages import (
@@ -37,4 +53,16 @@ __all__ = [
     "SweepResult",
     "stable_hash",
     "export_flow_gds",
+    "FlowError",
+    "InputValidationError",
+    "StageError",
+    "QuarantineExceededError",
+    "FlowInterrupted",
+    "RunJournal",
+    "InterruptGuard",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_INTERRUPTED",
+    "EXIT_VALIDATION",
+    "EXIT_QUARANTINE",
 ]

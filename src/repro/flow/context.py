@@ -246,6 +246,26 @@ class FlowContext:
             total -= size
             index += 1
 
+    def flush(self) -> None:
+        """Make the persistent tier durable before the process exits.
+
+        Stores are write-through (every artifact hits disk at ``store``
+        time), so this only fsyncs the cache directory entry — the
+        renames of the atomic-write protocol survive power loss.  Called
+        by the flow's graceful-interruption path; a no-op without a
+        ``cache_dir``.
+        """
+        if self.cache_dir is None:
+            return
+        try:
+            fd = os.open(self.cache_dir, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
     def disk_usage(self) -> Tuple[int, int]:
         """(entry count, total bytes) of the persistent tier (0, 0 if off)."""
         if self.cache_dir is None:

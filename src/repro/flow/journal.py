@@ -1,0 +1,252 @@
+"""Run durability: the append-only run journal and graceful interruption.
+
+A :class:`RunJournal` lives in a *run directory* (``--run-dir``) and
+records the run as an append-only ``journal.jsonl``: a ``manifest`` line
+(run id, flow fingerprint, config hash), one ``stage`` line per settled
+stage (artifact key, wall time, cache tier, counters), per-mode lines for
+sweeps, and a terminal ``complete`` / ``interrupted`` / ``failed`` line.
+Every line is flushed and fsynced, so even a SIGKILLed process leaves a
+consistent prefix on disk; a torn final line (the process died mid-write)
+is tolerated on read.
+
+Resume (``--resume``) replays the journal: the manifest is checked
+against the current flow fingerprint and config hash (a mismatched resume
+is an :class:`~repro.flow.errors.InputValidationError`, not a silently
+wrong run), and the run directory's artifact cache serves every journaled
+stage, so only post-interrupt work is computed.
+
+:class:`InterruptGuard` implements the graceful-stop contract: the first
+SIGINT/SIGTERM sets a flag that the stage graph checks *between* stages —
+the in-flight stage settles, its artifacts are persisted, and the run
+exits with :class:`~repro.flow.errors.FlowInterrupted` (exit code 2).  A
+second signal aborts immediately via :class:`KeyboardInterrupt`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.flow.errors import FlowInterrupted, InputValidationError
+
+#: schema version stamped on every manifest (bump on incompatible change)
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Append-only journal of one (possibly multi-session) run.
+
+    Open with :meth:`create` for a fresh run directory or :meth:`resume`
+    to continue an interrupted one; ``cache_subdir`` names the artifact
+    cache that makes the replay cheap.
+    """
+
+    FILENAME = "journal.jsonl"
+    CACHE_SUBDIR = "cache"
+
+    def __init__(self, run_dir: str):
+        self.run_dir = run_dir
+        self.path = os.path.join(run_dir, self.FILENAME)
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, run_dir: str, manifest: Dict[str, Any]) -> "RunJournal":
+        """Start a fresh journal; refuses a directory that already has one
+        (pass ``--resume`` or pick a new directory instead of silently
+        clobbering an earlier run's history)."""
+        journal = cls(run_dir)
+        if journal.exists():
+            raise InputValidationError(
+                "run_dir",
+                f"{run_dir} already contains a journal; "
+                "pass --resume to continue it or choose a fresh directory",
+            )
+        os.makedirs(run_dir, exist_ok=True)
+        journal.append("manifest", run_id=uuid.uuid4().hex[:12],
+                       version=JOURNAL_VERSION, **manifest)
+        return journal
+
+    @classmethod
+    def resume(cls, run_dir: str, manifest: Dict[str, Any]) -> "RunJournal":
+        """Reopen an interrupted run, verifying it is the *same* run.
+
+        The journaled fingerprint and config hash must match the current
+        invocation — resuming with a different design or config would
+        serve artifacts that do not belong to it.
+        """
+        journal = cls(run_dir)
+        if not journal.exists():
+            raise InputValidationError(
+                "run_dir", f"{run_dir} has no journal to resume"
+            )
+        recorded = journal.manifest()
+        if recorded is None:
+            raise InputValidationError(
+                "run_dir", f"{journal.path} has no readable manifest record"
+            )
+        for field in ("fingerprint", "config_hash"):
+            want, got = manifest.get(field), recorded.get(field)
+            if want is not None and got is not None and want != got:
+                raise InputValidationError(
+                    "run_dir",
+                    f"journal {field} {got} does not match this invocation "
+                    f"({want}); --resume must replay the same design+config",
+                )
+        journal.append("resumed", run_id=recorded.get("run_id"))
+        return journal
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    @property
+    def cache_dir(self) -> str:
+        """The run directory's artifact cache (what makes resume cheap)."""
+        return os.path.join(self.run_dir, self.CACHE_SUBDIR)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record_type: str, **payload: Any) -> Dict[str, Any]:
+        """Append one record; flushed and fsynced so a kill -9 an instant
+        later still finds it on disk."""
+        record = {"type": record_type, **payload}
+        if self._fh is None:
+            os.makedirs(self.run_dir, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        return record
+
+    def record_stage(self, record, key: str, quarantined: int = 0) -> None:
+        """Journal one settled stage (live or cache-served)."""
+        self.append(
+            "stage",
+            name=record.name,
+            key=key,
+            wall_s=round(record.wall_s, 6),
+            cache_hit=record.cache_hit,
+            cache_source=record.cache_source,
+            counters=dict(record.counters),
+            quarantined_gates=quarantined,
+        )
+
+    def record_mode(self, mode: str, status: str, detail: str = "") -> None:
+        """Journal one sweep mode's outcome (``ok`` / ``failed``)."""
+        self.append("mode", mode=mode, status=status, detail=detail)
+
+    def record_interrupted(self, signal_name: str,
+                           next_stage: Optional[str] = None) -> None:
+        self.append("interrupted", signal=signal_name, next_stage=next_stage)
+
+    def record_complete(self, **summary: Any) -> None:
+        self.append("complete", **summary)
+
+    def record_failed(self, error: BaseException) -> None:
+        self.append("failed", error=f"{type(error).__name__}: {error}")
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parseable record, oldest first.
+
+        A torn final line (the writer was killed mid-append) or stray
+        garbage is skipped rather than raised — the journal must be
+        readable after any crash.
+        """
+        if not os.path.exists(self.path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "type" in record:
+                    out.append(record)
+        return out
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        for record in self.records():
+            if record["type"] == "manifest":
+                return record
+        return None
+
+    def stage_records(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records() if r["type"] == "stage"]
+
+    def completed_stage_keys(self) -> Dict[str, str]:
+        """Stage name -> artifact key of its most recent settled record."""
+        keys: Dict[str, str] = {}
+        for record in self.stage_records():
+            keys[record["name"]] = record["key"]
+        return keys
+
+    def was_interrupted(self) -> bool:
+        records = self.records()
+        terminal = [r for r in records
+                    if r["type"] in ("interrupted", "complete", "failed")]
+        return bool(terminal) and terminal[-1]["type"] == "interrupted"
+
+
+class InterruptGuard:
+    """Scoped SIGINT/SIGTERM handler implementing graceful interruption.
+
+    Inside the ``with`` block the first signal only sets
+    :attr:`interrupted`; the stage graph polls :meth:`checkpoint` between
+    stages, so the in-flight stage settles (and is cached + journaled)
+    before :class:`FlowInterrupted` unwinds the run.  A second signal
+    raises :class:`KeyboardInterrupt` immediately — the operator insisting
+    beats graceful.  Handlers are restored on exit.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self):
+        self.interrupted: Optional[str] = None
+        self._previous = {}
+
+    def _handle(self, signum, frame):
+        name = signal.Signals(signum).name
+        if self.interrupted is not None:
+            raise KeyboardInterrupt(name)
+        self.interrupted = name
+
+    def __enter__(self) -> "InterruptGuard":
+        for sig in self.SIGNALS:
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except ValueError:
+                # Not the main thread: polling still works via .interrupted
+                # set by the owner; signals stay with the default handler.
+                pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
+        self._previous.clear()
+
+    def checkpoint(self, next_stage: Optional[str] = None) -> None:
+        """Raise :class:`FlowInterrupted` if a stop was requested."""
+        if self.interrupted is not None:
+            raise FlowInterrupted(self.interrupted, next_stage=next_stage)

@@ -36,6 +36,8 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.flow.errors import InputValidationError
+
 BACKENDS = ("serial", "thread", "process")
 
 #: fault kinds the injection hook supports: raise an exception inside the
@@ -74,7 +76,9 @@ class FaultInjection:
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
-            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+            raise InputValidationError(
+                "kind", f"must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
 
     def claim_token(self) -> Optional[int]:
         """Atomically claim one remaining failure token (None if spent)."""
@@ -111,14 +115,20 @@ class ParallelExecutor:
         chunk_timeout: Optional[float] = None,
         fault_injection: Optional[FaultInjection] = None,
     ):
+        # InputValidationError subclasses ValueError: pre-taxonomy callers
+        # catching ValueError keep working, the CLI maps it to exit code 3.
         if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+            raise InputValidationError(
+                "backend", f"must be one of {BACKENDS}, got {backend!r}"
+            )
         if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise InputValidationError("jobs", f"must be >= 1, got {jobs}")
         if retries < 0:
-            raise ValueError("retries must be >= 0")
+            raise InputValidationError("retries", f"must be >= 0, got {retries}")
         if chunk_timeout is not None and chunk_timeout <= 0:
-            raise ValueError("chunk_timeout must be positive (or None)")
+            raise InputValidationError(
+                "chunk_timeout", "must be positive (or None)"
+            )
         self.backend = backend
         self.jobs = jobs
         self.retries = retries

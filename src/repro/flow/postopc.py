@@ -30,6 +30,11 @@ from repro.cells import CellLibrary, build_library
 from repro.circuits import Netlist
 from repro.device import AlphaPowerModel
 from repro.flow.context import FlowContext, stable_hash
+from repro.flow.errors import (
+    FlowInterrupted,
+    InputValidationError,
+    QuarantineExceededError,
+)
 from repro.flow.parallel import ParallelExecutor
 from repro.flow.stages import StageGraph, default_stage_graph
 from repro.flow.trace import FlowTrace
@@ -74,12 +79,35 @@ class FlowConfig:
     model_recipe: ModelOpcRecipe = field(default_factory=ModelOpcRecipe)
     #: None selects the node-fitted recipe (RuleOpcRecipe.for_tech)
     rule_recipe: Optional[RuleOpcRecipe] = None
+    #: abort (exit code 4) when more than this fraction of gates had to be
+    #: quarantined back to drawn CDs; below it the run completes with a
+    #: degraded coverage fraction stamped on the report
+    max_quarantine_fraction: float = 0.5
 
     def __post_init__(self):
+        # InputValidationError subclasses ValueError, so pre-taxonomy
+        # callers catching ValueError keep working.
         if self.opc_mode not in OPC_MODES:
-            raise ValueError(f"opc_mode must be one of {OPC_MODES}")
+            raise InputValidationError(
+                "opc_mode", f"must be one of {OPC_MODES}, got {self.opc_mode!r}"
+            )
         if self.clock_period_ps is not None and self.clock_period_ps <= 0:
-            raise ValueError("clock_period_ps must be positive (or None for auto)")
+            raise InputValidationError(
+                "clock_period_ps", "must be positive (or None for auto)"
+            )
+        if self.n_critical_paths < 1:
+            raise InputValidationError(
+                "n_critical_paths", f"must be >= 1, got {self.n_critical_paths}"
+            )
+        if self.n_slices < 1:
+            raise InputValidationError(
+                "n_slices", f"must be >= 1, got {self.n_slices}"
+            )
+        if not (0.0 <= self.max_quarantine_fraction <= 1.0):
+            raise InputValidationError(
+                "max_quarantine_fraction",
+                f"must be in [0, 1], got {self.max_quarantine_fraction}",
+            )
 
 
 @dataclass
@@ -106,6 +134,12 @@ class FlowReport:
     hold_post: float = float("inf")
     #: per-stage wall time, cache hits and counters for this run
     trace: FlowTrace = field(default_factory=FlowTrace)
+    #: gate instances whose extraction was quarantined (fell back to drawn
+    #: CDs), with the first fault reason per gate
+    quarantined_gates: List[str] = field(default_factory=list)
+    quarantine_reasons: Dict[str, str] = field(default_factory=dict)
+    #: fraction of gate instances whose timing rests on real extraction
+    coverage: float = 1.0
 
     @property
     def runtimes(self) -> Dict[str, float]:
@@ -145,6 +179,12 @@ class FlowReport:
             f"  path ranking: tau={self.rank.tau:.3f}, moved={self.rank.moved}, "
             f"new top path: {self.rank.new_top}",
         ]
+        if self.quarantined_gates:
+            lines.append(
+                f"  extraction coverage {self.coverage:.1%} "
+                f"({len(self.quarantined_gates)} gates quarantined to drawn CD: "
+                f"{sorted(self.quarantined_gates)})"
+            )
         if self.failed_gates:
             lines.append(f"  PRINTABILITY FAILURES: {sorted(self.failed_gates)}")
         return "\n".join(lines)
@@ -278,6 +318,36 @@ class PostOpcTimingFlow:
                 owned.append((gate_name, placed.transform.apply_polygon(poly)))
         return owned
 
+    # -- preflight validation ------------------------------------------------
+
+    def preflight(self, config: FlowConfig) -> None:
+        """Validate the design and config before any stage runs.
+
+        A malformed input should be rejected here, naming the offending
+        field, not hours later from deep inside a stage.  (The pure
+        config-field checks already ran in ``FlowConfig.__post_init__``;
+        this adds the checks that need the design or simulator.)
+        """
+        if not self.netlist.gates:
+            raise InputValidationError(
+                "netlist", f"design {self.netlist.name!r} has no gates"
+            )
+        if self.simulator.max_tile_px <= 0:
+            raise InputValidationError(
+                "max_tile_px",
+                f"simulator tile size must be positive, got {self.simulator.max_tile_px}",
+            )
+        if self.simulator.settings.pixel_nm <= 0:
+            raise InputValidationError(
+                "pixel_nm",
+                f"simulator pixel must be positive, got {self.simulator.settings.pixel_nm}",
+            )
+        if config.opc_mode in ("model", "selective"):
+            try:
+                self.simulator.tile_span
+            except ValueError as exc:
+                raise InputValidationError("max_tile_px", str(exc)) from exc
+
     # -- pipeline stages ----------------------------------------------------
 
     def tag_critical_gates(self, sta: StaResult, k: int) -> Set[str]:
@@ -401,12 +471,51 @@ class PostOpcTimingFlow:
         *,
         context: Optional[FlowContext] = None,
         trace: Optional[FlowTrace] = None,
+        journal=None,
+        interrupt=None,
     ) -> FlowReport:
+        """Execute the stage graph and assemble the report.
+
+        ``journal`` (:class:`~repro.flow.journal.RunJournal`) records
+        every settled stage; ``interrupt``
+        (:class:`~repro.flow.journal.InterruptGuard`) enables graceful
+        SIGINT/SIGTERM stops between stages — the cache is flushed and an
+        ``interrupted`` record journaled before
+        :class:`~repro.flow.errors.FlowInterrupted` propagates.  Raises
+        :class:`~repro.flow.errors.QuarantineExceededError` when more
+        than ``config.max_quarantine_fraction`` of the gates had to fall
+        back to drawn CDs.
+        """
         config = config or FlowConfig()
         context = context if context is not None else self.context
         trace = trace if trace is not None else FlowTrace()
+        self.preflight(config)
 
-        artifacts = self.graph.execute(self, config, context, trace)
+        try:
+            artifacts = self.graph.execute(
+                self, config, context, trace, journal=journal, interrupt=interrupt
+            )
+        except FlowInterrupted as exc:
+            context.flush()
+            if journal is not None:
+                journal.record_interrupted(exc.signal_name, exc.next_stage)
+            raise
+
+        # Degraded-coverage accounting: gates quarantined by metrology
+        # (bad CD extraction) or back-annotation (non-physical derate)
+        # run on drawn CDs; past the threshold the number is meaningless.
+        reasons: Dict[str, str] = {}
+        for key, why in artifacts.get("cd_quarantine", {}).items():
+            reasons.setdefault(key[0], why)
+        for gate, why in artifacts.get("derate_quarantine", {}).items():
+            reasons.setdefault(gate, why)
+        quarantined = sorted(reasons)
+        total_gates = len(self.netlist.gates)
+        fraction = len(quarantined) / total_gates if total_gates else 0.0
+        if fraction > config.max_quarantine_fraction:
+            raise QuarantineExceededError(
+                fraction, config.max_quarantine_fraction, quarantined
+            )
 
         drawn_base: StaResult = artifacts["drawn_sta"]
         post_base: StaResult = artifacts["post_sta"]
@@ -441,4 +550,7 @@ class PostOpcTimingFlow:
             hold_drawn=artifacts["hold_drawn"],
             hold_post=artifacts["hold_post"],
             trace=trace,
+            quarantined_gates=quarantined,
+            quarantine_reasons=reasons,
+            coverage=1.0 - fraction,
         )

@@ -21,13 +21,19 @@ import time
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.flow.context import MISSING, FlowContext, stable_hash
+from repro.flow.errors import FlowError, StageError
 from repro.flow.trace import FlowTrace
-from repro.metrology.gate_cd import measure_tile_chunk, plan_metrology_tiles
+from repro.metrology.gate_cd import (
+    measure_tile_chunk,
+    plan_metrology_tiles,
+    quarantine_measurements,
+)
 from repro.opc import RuleOpcRecipe
 from repro.timing import (
     TimingConstraints,
     derates_from_measurements,
     instance_leakage,
+    quarantine_derates,
     run_hold,
 )
 
@@ -45,6 +51,10 @@ class FlowStage:
     """
 
     name: str = ""
+    #: bump when the stage's output semantics change — the version is part
+    #: of the artifact key, so a persistent cache written by older code is
+    #: recomputed instead of served with stale semantics
+    version: int = 1
 
     def requires(self, config) -> Tuple[str, ...]:
         """Names of the stages whose artifacts this stage consumes (may
@@ -157,6 +167,7 @@ class MetrologyStage(FlowStage):
     """Tiled litho simulation + per-transistor printed-CD extraction."""
 
     name = "metrology"
+    version = 2  # v2: quarantines unsound measurements, emits cd_quarantine
 
     def requires(self, config):
         return ("place", "opc")
@@ -185,15 +196,24 @@ class MetrologyStage(FlowStage):
         measurements: Dict[Any, Any] = {}
         for measured in tile_results:
             measurements.update(measured)
+        # Degraded-coverage guard: untrustworthy extractions (non-finite,
+        # out-of-band, sliceless) and sites no tile measured are
+        # quarantined — downstream falls back to drawn CDs for them.
+        measurements, faults = quarantine_measurements(measurements)
+        for key in flow.gate_rects:
+            if key not in measurements and key not in faults:
+                faults[key] = "site not measured by any tile"
         counters["tiles"] = len(tasks)
         counters["gates_measured"] = len(measurements)
-        return {"measurements": measurements}
+        counters["quarantined_gates"] = len({key[0] for key in faults})
+        return {"measurements": measurements, "cd_quarantine": faults}
 
 
 class BackAnnotateStage(FlowStage):
     """Printed CDs -> per-instance derates (the paper's back-annotation)."""
 
     name = "back_annotate"
+    version = 2  # v2: quarantines non-physical derates, emits derate_quarantine
 
     def requires(self, config):
         return ("metrology",)
@@ -202,9 +222,13 @@ class BackAnnotateStage(FlowStage):
         derates = derates_from_measurements(
             flow.netlist, flow.cells, artifacts["measurements"], flow.model
         )
+        # A non-physical derate (NaN/inf/non-positive scale) would poison
+        # the STA; drop it back to drawn timing and count it quarantined.
+        derates, faults = quarantine_derates(derates)
         counters["derated_instances"] = len(derates)
         counters["failed_gates"] = sum(1 for d in derates.values() if d.failed)
-        return {"derates": derates}
+        counters["quarantined_gates"] = len(faults)
+        return {"derates": derates, "derate_quarantine": faults}
 
 
 class PostStaStage(FlowStage):
@@ -293,11 +317,26 @@ class StageGraph:
         config,
         context: FlowContext,
         trace: FlowTrace,
+        journal=None,
+        interrupt=None,
     ) -> Dict[str, Any]:
-        """Run (or re-serve) every stage; returns the merged artifacts."""
+        """Run (or re-serve) every stage; returns the merged artifacts.
+
+        ``journal`` (a :class:`~repro.flow.journal.RunJournal`) receives
+        one ``stage`` record per settled stage; ``interrupt`` (an
+        :class:`~repro.flow.journal.InterruptGuard`) is polled *between*
+        stages, so a stop request lets the in-flight stage settle — its
+        artifacts are cached and journaled — before
+        :class:`~repro.flow.errors.FlowInterrupted` unwinds the run.
+        A stage that raises is wrapped in
+        :class:`~repro.flow.errors.StageError` naming the stage and its
+        artifact key.
+        """
         artifacts: Dict[str, Any] = {}
         keys: Dict[str, str] = {}
         for stage in self.stages:
+            if interrupt is not None:
+                interrupt.checkpoint(next_stage=stage.name)
             parents = stage.requires(config)
             missing = [p for p in parents if p not in keys]
             if missing:
@@ -307,6 +346,7 @@ class StageGraph:
             key = stable_hash((
                 flow.fingerprint,
                 stage.name,
+                stage.version,
                 stage.config_slice(flow, config),
                 tuple(keys[p] for p in parents),
             ))
@@ -318,16 +358,26 @@ class StageGraph:
                 outputs, counters = cached
                 context.count_hit(stage.name)
                 stage.install(flow, outputs)
-                trace.add(stage.name, time.perf_counter() - start,
-                          cache_hit=True, counters=counters,
-                          cache_source=context.last_hit_source)
+                record = trace.add(stage.name, time.perf_counter() - start,
+                                   cache_hit=True, counters=counters,
+                                   cache_source=context.last_hit_source)
             else:
                 context.count_miss(stage.name)
                 counters: Dict[str, float] = {}
-                outputs = stage.run(flow, config, artifacts, counters, context)
+                try:
+                    outputs = stage.run(flow, config, artifacts, counters, context)
+                except FlowError:
+                    raise
+                except Exception as exc:
+                    raise StageError(stage.name, key, exc) from exc
                 context.store(key, (outputs, dict(counters)))
-                trace.add(stage.name, time.perf_counter() - start,
-                          cache_hit=False, counters=counters)
+                record = trace.add(stage.name, time.perf_counter() - start,
+                                   cache_hit=False, counters=counters)
+            if journal is not None:
+                journal.record_stage(
+                    record, key=key,
+                    quarantined=int(record.counters.get("quarantined_gates", 0)),
+                )
             artifacts.update(outputs)
         return artifacts
 

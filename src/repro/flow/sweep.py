@@ -8,31 +8,48 @@ are computed once and served from cache for every subsequent mode.  Give
 the flow a persistent context (``FlowContext(cache_dir=...)``) and the
 sharing extends across processes: a rerun sweep serves every unchanged
 stage as a disk hit.
+
+Sweeps are partial-failure-safe: one mode raising does not discard the
+modes already completed.  The failure is captured into
+:attr:`SweepResult.failures` and the comparison table renders the
+survivors plus a failure footer.  Only interruption
+(:class:`~repro.flow.errors.FlowInterrupted` / ``KeyboardInterrupt``)
+propagates — a stop request must stop the whole sweep, not skip a mode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_table
 from repro.flow.context import FlowContext
+from repro.flow.errors import FlowInterrupted
 from repro.flow.postopc import OPC_MODES, FlowConfig, FlowReport, PostOpcTimingFlow
 
 
 @dataclass
 class SweepResult:
-    """Per-mode reports plus the shared-context accounting."""
+    """Per-mode reports plus the shared-context accounting.
+
+    ``failures`` maps each mode that raised to its error text; the
+    corresponding mode is absent from ``reports``.
+    """
 
     reports: Dict[str, FlowReport]
     context: FlowContext
+    failures: Dict[str, str] = field(default_factory=dict)
 
     @property
     def modes(self) -> List[str]:
         return list(self.reports)
 
     def table(self) -> str:
-        """The comparison table the paper's figures are built from."""
+        """The comparison table the paper's figures are built from.
+
+        Completed modes render as rows; failed modes are appended as a
+        footer so a partial sweep still reads as one document.
+        """
         rows = []
         for mode, report in self.reports.items():
             rows.append((
@@ -46,12 +63,18 @@ class SweepResult:
                 f"{report.trace.total_wall_s:.2f}",
                 report.trace.cache_hits,
             ))
-        return format_table(
+        text = format_table(
             ["opc", "CD err (nm)", "WNS drawn", "WNS post", "dWNS", "dleak",
              "model polys", "wall (s)", "cached"],
             rows,
             title="OPC-mode sweep (shared flow context)",
         )
+        if self.failures:
+            footer = [f"failed modes ({len(self.failures)}):"]
+            for mode, error in self.failures.items():
+                footer.append(f"  {mode}: {error}")
+            text = text + "\n" + "\n".join(footer)
+        return text
 
     def cache_summary(self) -> str:
         return self.context.summary()
@@ -64,16 +87,43 @@ class FlowSweep:
         self.flow = flow
         self.modes = list(modes)
 
-    def run(self, config: Optional[FlowConfig] = None) -> SweepResult:
+    def run(
+        self,
+        config: Optional[FlowConfig] = None,
+        *,
+        journal=None,
+        interrupt=None,
+    ) -> SweepResult:
         """Run every mode through the flow's shared context.
 
         ``config`` supplies everything except ``opc_mode`` (the swept
         knob).  The first run populates the context; later runs re-use
         placement, drawn STA, critical-gate tagging and the rule-OPC base
         — the trace of each report records what was served from cache.
+
+        A mode that raises is captured into ``failures`` and the sweep
+        continues; completed reports are never discarded.  ``journal``
+        receives one ``mode`` record per outcome, and ``interrupt``
+        stops the whole sweep (the partial result is *not* returned —
+        resume replays the completed modes from cache).
         """
         base = config or FlowConfig()
         reports: Dict[str, FlowReport] = {}
+        failures: Dict[str, str] = {}
         for mode in self.modes:
-            reports[mode] = self.flow.run(replace(base, opc_mode=mode))
-        return SweepResult(reports=reports, context=self.flow.context)
+            try:
+                reports[mode] = self.flow.run(
+                    replace(base, opc_mode=mode),
+                    journal=journal, interrupt=interrupt,
+                )
+            except FlowInterrupted:
+                raise  # the flow already journaled the interruption
+            except Exception as exc:
+                failures[mode] = f"{type(exc).__name__}: {exc}"
+                if journal is not None:
+                    journal.record_mode(mode, "failed", detail=failures[mode])
+            else:
+                if journal is not None:
+                    journal.record_mode(mode, "ok")
+        return SweepResult(reports=reports, context=self.flow.context,
+                           failures=failures)

@@ -79,6 +79,15 @@ class FlowTrace:
             totals[record.name] = totals.get(record.name, 0.0) + record.wall_s
         return totals
 
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every stage record (0 if absent)."""
+        return sum(r.counters.get(name, 0) for r in self.records)
+
+    @property
+    def quarantined_gates(self) -> int:
+        """Gate instances quarantined to drawn CDs across all stages."""
+        return int(self.counter_total("quarantined_gates"))
+
     @property
     def cache_hits(self) -> int:
         return sum(1 for r in self.records if r.cache_hit)

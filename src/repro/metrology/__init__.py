@@ -4,9 +4,11 @@ from repro.metrology.gate_cd import (
     GateCdMeasurement,
     MetrologyTileTask,
     measure_gate_cds,
+    measurement_fault,
     measure_layout_gate_cds,
     measure_tile_chunk,
     plan_metrology_tiles,
+    quarantine_measurements,
 )
 from repro.metrology.sites import MetrologySite, select_sites
 from repro.metrology.statistics import CdStatistics, summarize_cds
@@ -15,9 +17,11 @@ __all__ = [
     "GateCdMeasurement",
     "MetrologyTileTask",
     "measure_gate_cds",
+    "measurement_fault",
     "measure_layout_gate_cds",
     "measure_tile_chunk",
     "plan_metrology_tiles",
+    "quarantine_measurements",
     "MetrologySite",
     "select_sites",
     "CdStatistics",

@@ -148,6 +148,68 @@ def measure_gate_cds(
     return results
 
 
+#: printed-CD sanity band as multiples of the drawn CD: a measurement
+#: whose mean printed CD falls outside ``[lo * drawn, hi * drawn]`` is
+#: untrustworthy (wrong feature captured, contour artifact) and is
+#: quarantined rather than back-annotated.  Catastrophic opens (CD 0.0)
+#: are *not* quarantined — they are real printability failures, reported
+#: through the failed-gate path.
+QUARANTINE_BAND = (0.25, 4.0)
+
+
+def measurement_fault(
+    measurement: GateCdMeasurement,
+    band: Tuple[float, float] = QUARANTINE_BAND,
+) -> Optional[str]:
+    """Why this measurement cannot be trusted (``None`` if it is sound).
+
+    Faults: no contour slices at all, a non-finite or negative CD, a
+    non-positive drawn reference, or a mean printed CD outside ``band``
+    times the drawn CD.  Zero CDs (the gate did not print) are sound
+    data — the printability-failure path owns those.
+    """
+    if not measurement.slice_cds:
+        return "no contour slices measured"
+    cds = np.asarray(measurement.slice_cds, dtype=float)
+    if not np.all(np.isfinite(cds)):
+        return "non-finite CD slice"
+    if np.any(cds < 0):
+        return "negative CD slice"
+    if not (measurement.drawn_cd > 0):
+        return f"non-positive drawn CD ({measurement.drawn_cd!r})"
+    printed = cds[cds > 0]
+    if printed.size:
+        mean = float(printed.mean())
+        lo, hi = band
+        if not (lo * measurement.drawn_cd <= mean <= hi * measurement.drawn_cd):
+            return (
+                f"printed CD {mean:.1f} nm outside "
+                f"[{lo:g}x, {hi:g}x] of drawn {measurement.drawn_cd:.1f} nm"
+            )
+    return None
+
+
+def quarantine_measurements(
+    measurements: Mapping[Hashable, GateCdMeasurement],
+    band: Tuple[float, float] = QUARANTINE_BAND,
+) -> Tuple[Dict[Hashable, GateCdMeasurement], Dict[Hashable, str]]:
+    """Split measurements into (sound, quarantined-with-reason).
+
+    Quarantined sites fall back to drawn CDs downstream (the derate
+    builder treats a missing measurement as drawn), so one garbled
+    extraction degrades coverage instead of aborting the run.
+    """
+    clean: Dict[Hashable, GateCdMeasurement] = {}
+    faults: Dict[Hashable, str] = {}
+    for key, measurement in measurements.items():
+        fault = measurement_fault(measurement, band)
+        if fault is None:
+            clean[key] = measurement
+        else:
+            faults[key] = fault
+    return clean, faults
+
+
 @dataclass(frozen=True)
 class MetrologyTileTask:
     """Self-contained metrology work for one tile (picklable)."""

@@ -5,7 +5,12 @@ from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingT
 from repro.timing.characterize import characterize_library
 from repro.timing.sta import StaEngine, StaResult, TimingConstraints
 from repro.timing.paths import PathStage, TimingPath, top_paths
-from repro.timing.derate import InstanceDerate, derates_from_measurements, instance_leakage
+from repro.timing.derate import (
+    InstanceDerate,
+    derates_from_measurements,
+    instance_leakage,
+    quarantine_derates,
+)
 from repro.timing.mc import CornerSpec, MonteCarloResult, run_corners, run_monte_carlo
 from repro.timing.hold import HoldEndpoint, HoldResult, run_hold
 from repro.timing.report import report_summary, report_timing
@@ -26,6 +31,7 @@ __all__ = [
     "top_paths",
     "InstanceDerate",
     "derates_from_measurements",
+    "quarantine_derates",
     "instance_leakage",
     "CornerSpec",
     "MonteCarloResult",

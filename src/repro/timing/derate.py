@@ -8,6 +8,7 @@ extracted equivalent lengths — no library re-characterization needed.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Tuple
 
 from repro.cells import CellLibrary
@@ -62,6 +63,32 @@ def derates_from_measurements(
             failed=failed,
         )
     return derates
+
+
+def quarantine_derates(
+    derates: Mapping[str, InstanceDerate],
+) -> Tuple[Dict[str, InstanceDerate], Dict[str, str]]:
+    """Split derates into (physical, quarantined-with-reason).
+
+    A derate with a non-finite or non-positive scale factor would poison
+    the STA (NaN slacks propagate silently); those instances fall back to
+    drawn timing — dropping the derate *is* the drawn fallback — and the
+    caller counts them against extraction coverage.
+    """
+    clean: Dict[str, InstanceDerate] = {}
+    faults: Dict[str, str] = {}
+    for name, derate in derates.items():
+        bad = None
+        for attr in ("delay_rise_scale", "delay_fall_scale", "cap_scale"):
+            value = getattr(derate, attr)
+            if not math.isfinite(value) or value <= 0:
+                bad = f"{attr}={value!r}"
+                break
+        if bad is None:
+            clean[name] = derate
+        else:
+            faults[name] = f"non-physical derate ({bad})"
+    return clean, faults
 
 
 def _strength_ratio(

@@ -1,0 +1,233 @@
+"""Interruption and resume: SIGINT mid-flow, hard kill via subprocess,
+and the CLI exit-code contract.
+
+The durability claim under test: an interrupted ``flow --run-dir D``
+followed by ``flow --run-dir D --resume`` produces a report bit-identical
+to an uninterrupted run, with every pre-interrupt stage served from the
+journal + run-dir cache.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.cells import build_library
+from repro.circuits import inverter_chain
+from repro.flow import (
+    FlowConfig,
+    FlowContext,
+    FlowInterrupted,
+    InterruptGuard,
+    PostOpcTimingFlow,
+    RunJournal,
+)
+from repro.flow.stages import default_stage_graph
+from repro.pdk import make_tech_90nm
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+def _graph_signalling_after(stage_name, sig):
+    """Default graph whose ``stage_name`` sends ``sig`` to this process
+    right before returning — a signal arriving mid-stage."""
+    graph = default_stage_graph()
+    stage = next(s for s in graph.stages if s.name == stage_name)
+    original = stage.run
+
+    def run_then_signal(flow, config, artifacts, counters, context):
+        outputs = original(flow, config, artifacts, counters, context)
+        os.kill(os.getpid(), sig)
+        return outputs
+
+    stage.run = run_then_signal
+    return graph
+
+
+class TestSigintMidFlow:
+    def test_interrupt_settles_stage_then_resume_is_bit_identical(
+        self, tech, lib, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        cache = os.path.join(run_dir, RunJournal.CACHE_SUBDIR)
+        config = FlowConfig(opc_mode="rule", clock_period_ps=400)
+
+        # Reference: uninterrupted run with its own fresh context.
+        reference = PostOpcTimingFlow(
+            inverter_chain(3), tech, cells=lib, context=FlowContext()
+        ).run(config)
+
+        # Interrupted run: SIGINT lands while the opc stage is in flight.
+        flow = PostOpcTimingFlow(
+            inverter_chain(3), tech, cells=lib,
+            context=FlowContext(cache_dir=cache),
+            graph=_graph_signalling_after("opc", signal.SIGINT),
+        )
+        journal = RunJournal.create(run_dir, {"fingerprint": flow.fingerprint,
+                                              "config_hash": "c"})
+        with InterruptGuard() as guard:
+            with pytest.raises(FlowInterrupted) as excinfo:
+                flow.run(config, journal=journal, interrupt=guard)
+        journal.close()
+
+        # The in-flight stage settled (cached + journaled); the next did not run.
+        assert excinfo.value.next_stage == "metrology"
+        journaled = [r["name"] for r in journal.stage_records()]
+        assert journaled == ["place", "sta_drawn", "tag_critical", "opc"]
+        assert journal.was_interrupted()
+
+        # Resume: fresh flow + context over the same run dir.
+        flow2 = PostOpcTimingFlow(
+            inverter_chain(3), tech, cells=lib,
+            context=FlowContext(cache_dir=cache),
+        )
+        journal2 = RunJournal.resume(run_dir, {"fingerprint": flow2.fingerprint,
+                                               "config_hash": "c"})
+        report = flow2.run(config, journal=journal2)
+        journal2.close()
+
+        by_name = {r.name: r for r in report.trace}
+        for name in journaled:
+            assert by_name[name].cache_hit, f"{name} recomputed on resume"
+            assert by_name[name].cache_source == "disk"
+
+        assert report.wns_drawn == reference.wns_drawn
+        assert report.wns_post == reference.wns_post
+        assert report.measurements == reference.measurements
+        assert report.mask_polygons == reference.mask_polygons
+        assert report.leakage_post == reference.leakage_post
+        assert report.hold_post == reference.hold_post
+        assert report.summary() == reference.summary()
+
+    def test_interrupted_journal_refuses_plain_rerun(self, tech, lib, tmp_path):
+        run_dir = str(tmp_path / "run")
+        RunJournal.create(run_dir, {"fingerprint": "f"}).close()
+        with pytest.raises(ValueError, match="--resume"):
+            RunJournal.create(run_dir, {"fingerprint": "f"})
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _last_complete(run_dir):
+    records = [json.loads(line)
+               for line in open(os.path.join(run_dir, "journal.jsonl"))]
+    done = [r for r in records if r["type"] == "complete"]
+    assert done, f"no complete record in {run_dir}"
+    return done[-1]
+
+
+class TestHardKillSubprocess:
+    def test_sigkill_then_cli_resume_matches_uninterrupted_run(self, tmp_path):
+        ref_dir = str(tmp_path / "ref")
+        int_dir = str(tmp_path / "int")
+        base = [sys.executable, "-m", "repro", "flow", "--design", "c17",
+                "--opc", "rule", "--period", "800"]
+        env = _cli_env()
+
+        subprocess.run(base + ["--run-dir", ref_dir], env=env, check=True,
+                       stdout=subprocess.DEVNULL, timeout=600)
+
+        proc = subprocess.Popen(base + ["--run-dir", int_dir], env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        journal_path = os.path.join(int_dir, "journal.jsonl")
+        deadline = time.time() + 300
+        while time.time() < deadline and proc.poll() is None:
+            if os.path.exists(journal_path) and any(
+                '"stage"' in line for line in open(journal_path)
+            ):
+                break
+            time.sleep(0.02)
+        killed = proc.poll() is None
+        if killed:
+            proc.kill()  # SIGKILL: no handler, no flush, no goodbye
+        proc.wait(timeout=600)
+
+        pre_kill = [json.loads(line)["name"] for line in open(journal_path)
+                    if '"stage"' in line]
+        assert pre_kill, "journal never recorded a stage"
+
+        result = subprocess.run(base + ["--run-dir", int_dir, "--resume"],
+                                env=env, check=True, timeout=600,
+                                stdout=subprocess.PIPE, text=True)
+        assert "journal:" in result.stdout
+
+        resumed = [json.loads(line) for line in open(journal_path)]
+        resumed_stages = [r for r in resumed if r["type"] == "stage"]
+        # Every stage journaled before the kill is served from cache after it.
+        replayed = {r["name"]: r for r in resumed_stages[len(pre_kill):]}
+        for name in pre_kill:
+            assert replayed[name]["cache_hit"], f"{name} recomputed after kill"
+
+        ref, got = _last_complete(ref_dir), _last_complete(int_dir)
+        assert got["wns_drawn"] == ref["wns_drawn"]
+        assert got["wns_post"] == ref["wns_post"]
+        assert got["coverage"] == ref["coverage"]
+
+
+class TestCliExitCodes:
+    def test_interrupt_exits_2_and_journals(self, tmp_path, monkeypatch, capsys):
+        original_enter = InterruptGuard.__enter__
+
+        def enter_already_interrupted(self):
+            original_enter(self)
+            self.interrupted = "SIGINT"
+            return self
+
+        monkeypatch.setattr(InterruptGuard, "__enter__", enter_already_interrupted)
+        run_dir = str(tmp_path / "run")
+        code = main(["flow", "--design", "c17", "--opc", "none",
+                     "--period", "500", "--run-dir", run_dir])
+        assert code == 2
+        assert "interrupted" in capsys.readouterr().err
+        journal = RunJournal(run_dir)
+        assert journal.was_interrupted()
+
+    def test_resume_without_run_dir_exits_3(self, capsys):
+        code = main(["flow", "--design", "c17", "--opc", "none",
+                     "--period", "500", "--resume"])
+        assert code == 3
+        assert "--resume requires --run-dir" in capsys.readouterr().err
+
+    def test_quarantine_exceeded_exits_4(self, tmp_path, monkeypatch, capsys):
+        from repro.metrology.gate_cd import measure_tile_chunk as real_chunk
+
+        def poison_everything(payload):
+            results = real_chunk(payload)
+            for measured in results:
+                for measurement in measured.values():
+                    if measurement.slice_cds:
+                        measurement.slice_cds[0] = float("nan")
+            return results
+
+        monkeypatch.setattr("repro.flow.stages.measure_tile_chunk",
+                            poison_everything)
+        run_dir = str(tmp_path / "run")
+        code = main(["flow", "--design", "c17", "--opc", "none",
+                     "--period", "500", "--run-dir", run_dir,
+                     "--max-quarantine-fraction", "0.25"])
+        assert code == 4
+        assert "quarantined fraction" in capsys.readouterr().err
+        records = RunJournal(run_dir).records()
+        assert records[-1]["type"] == "failed"
+        assert "QuarantineExceededError" in records[-1]["error"]

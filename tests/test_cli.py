@@ -33,6 +33,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["flow", "--design", "pentium4"])
 
+    def test_flow_durability_defaults(self):
+        args = build_parser().parse_args(["flow"])
+        assert args.run_dir is None
+        assert args.resume is False
+        assert args.max_quarantine_fraction == 0.5
+
+    def test_sweep_durability_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--run-dir", "rd", "--resume",
+             "--max-quarantine-fraction", "0.25"])
+        assert args.run_dir == "rd"
+        assert args.resume is True
+        assert args.max_quarantine_fraction == 0.25
+
 
 class TestCommands:
     def test_flow_command_with_trace(self, tmp_path, capsys):
