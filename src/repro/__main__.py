@@ -7,6 +7,7 @@ Commands:
 * ``liberty`` — emit the characterized library as Liberty text
 * ``gds``     — write a placed design (and optionally its OPC mask) to GDSII
 * ``litho``   — print the calibrated process signature (CD through pitch)
+* ``lint``    — static determinism/contract checks (AST rules + waivers)
 """
 
 from __future__ import annotations
@@ -263,6 +264,20 @@ def cmd_litho(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lintcheck.cli import list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules()
+    return run_lint(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        no_waivers=args.no_waivers,
+        exclude=args.exclude,
+    )
+
+
 def _add_durability_args(sub) -> None:
     """Persistent-cache, journal and fault-tolerance knobs shared by
     flow/sweep.  Exit codes: 0 ok, 2 interrupted (SIGINT/SIGTERM), 3
@@ -339,6 +354,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     litho = sub.add_parser("litho", help="print the calibrated process signature")
     litho.set_defaults(func=cmd_litho)
+
+    lint = sub.add_parser(
+        "lint", help="static determinism & flow-contract checks"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directory trees to check (default: src)")
+    lint.add_argument("--select", action="append", default=None, metavar="RULE",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--ignore", action="append", default=None, metavar="RULE",
+                      help="skip this rule (repeatable)")
+    lint.add_argument("--exclude", action="append", default=None, metavar="SUBSTR",
+                      help="drop files whose path contains this substring "
+                           "(e.g. the checker's own violation corpus)")
+    lint.add_argument("--no-waivers", action="store_true",
+                      help="report findings even where a "
+                           "`# repro-lint: allow[...]` waiver covers them")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
@@ -347,6 +381,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    # repro-lint: allow[broad-except] top-level CLI handler: maps FlowError exit codes
     except Exception as exc:
         # The structured FlowError taxonomy carries its own exit code
         # (2 interrupted, 3 validation, 4 quarantine, 1 other FlowError);

@@ -112,7 +112,7 @@ class FlowContext:
         self,
         cache_dir: Optional[str] = None,
         max_disk_bytes: Optional[int] = None,
-    ):
+    ) -> None:
         self._artifacts: Dict[str, Any] = {}
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
@@ -171,6 +171,7 @@ class FlowContext:
             if hashlib.sha256(payload).hexdigest() != expected:
                 raise ValueError("integrity hash mismatch")
             value = pickle.loads(payload)
+        # repro-lint: allow[broad-except] cache-corruption tolerance: recompute, never crash
         except Exception:
             # Truncated pickle, missing/garbled sidecar, unpicklable class...
             # all are recoverable: drop the entry and let the stage recompute.
@@ -186,6 +187,7 @@ class FlowContext:
     def _disk_store(self, key: str, value: Any) -> None:
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        # repro-lint: allow[broad-except] unpicklable artifact degrades to memory-only, never crashes
         except Exception:
             self.disk_write_errors += 1
             return

@@ -20,7 +20,7 @@ working.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 EXIT_OK = 0
 EXIT_FAILURE = 1
@@ -45,7 +45,7 @@ class InputValidationError(FlowError, ValueError):
 
     exit_code = EXIT_VALIDATION
 
-    def __init__(self, field: str, message: str):
+    def __init__(self, field: str, message: str) -> None:
         super().__init__(f"{field}: {message}")
         self.field = field
 
@@ -59,7 +59,7 @@ class StageError(FlowError):
     and kept as :attr:`cause`.
     """
 
-    def __init__(self, stage: str, key: Optional[str], cause: BaseException):
+    def __init__(self, stage: str, key: Optional[str], cause: BaseException) -> None:
         super().__init__(
             f"stage {stage!r} failed"
             + (f" (artifact {key})" if key else "")
@@ -75,7 +75,9 @@ class QuarantineExceededError(FlowError):
 
     exit_code = EXIT_QUARANTINE
 
-    def __init__(self, fraction: float, threshold: float, quarantined):
+    def __init__(
+        self, fraction: float, threshold: float, quarantined: Iterable[str]
+    ) -> None:
         quarantined = sorted(quarantined)
         preview = ", ".join(quarantined[:8])
         if len(quarantined) > 8:
@@ -98,7 +100,7 @@ class FlowInterrupted(FlowError):
 
     exit_code = EXIT_INTERRUPTED
 
-    def __init__(self, signal_name: str, next_stage: Optional[str] = None):
+    def __init__(self, signal_name: str, next_stage: Optional[str] = None) -> None:
         where = f" before stage {next_stage!r}" if next_stage else ""
         super().__init__(f"interrupted by {signal_name}{where}")
         self.signal_name = signal_name

@@ -28,7 +28,11 @@ import json
 import os
 import signal
 import uuid
-from typing import Any, Dict, List, Optional
+from types import FrameType
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
+
+if TYPE_CHECKING:
+    from repro.flow.trace import StageRecord
 
 from repro.flow.errors import FlowInterrupted, InputValidationError
 
@@ -47,10 +51,10 @@ class RunJournal:
     FILENAME = "journal.jsonl"
     CACHE_SUBDIR = "cache"
 
-    def __init__(self, run_dir: str):
+    def __init__(self, run_dir: str) -> None:
         self.run_dir = run_dir
         self.path = os.path.join(run_dir, self.FILENAME)
-        self._fh = None
+        self._fh: Optional[TextIO] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -116,7 +120,7 @@ class RunJournal:
     def __enter__(self) -> "RunJournal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- writing -------------------------------------------------------------
@@ -133,7 +137,8 @@ class RunJournal:
         os.fsync(self._fh.fileno())
         return record
 
-    def record_stage(self, record, key: str, quarantined: int = 0) -> None:
+    def record_stage(self, record: "StageRecord", key: str,
+                     quarantined: int = 0) -> None:
         """Journal one settled stage (live or cache-served)."""
         self.append(
             "stage",
@@ -221,11 +226,11 @@ class InterruptGuard:
 
     SIGNALS = (signal.SIGINT, signal.SIGTERM)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.interrupted: Optional[str] = None
-        self._previous = {}
+        self._previous: Dict[int, Any] = {}
 
-    def _handle(self, signum, frame):
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
         name = signal.Signals(signum).name
         if self.interrupted is not None:
             raise KeyboardInterrupt(name)
@@ -241,7 +246,7 @@ class InterruptGuard:
                 pass
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         for sig, previous in self._previous.items():
             signal.signal(sig, previous)
         self._previous.clear()

@@ -74,7 +74,7 @@ class FaultInjection:
     fail_first: int = 1
     kind: str = "raise"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise InputValidationError(
                 "kind", f"must be one of {FAULT_KINDS}, got {self.kind!r}"
@@ -93,7 +93,7 @@ class FaultInjection:
         return None
 
 
-def _fault_injected_chunk(payload):
+def _fault_injected_chunk(payload: Tuple[Any, List[Any]]) -> List[Any]:
     """Module-level (picklable) wrapper applying a :class:`FaultInjection`."""
     (worker, injection, shared), chunk = payload
     token = injection.claim_token()
@@ -114,7 +114,7 @@ class ParallelExecutor:
         retries: int = 0,
         chunk_timeout: Optional[float] = None,
         fault_injection: Optional[FaultInjection] = None,
-    ):
+    ) -> None:
         # InputValidationError subclasses ValueError: pre-taxonomy callers
         # catching ValueError keep working, the CLI maps it to exit code 3.
         if backend not in BACKENDS:
@@ -154,7 +154,7 @@ class ParallelExecutor:
         return ParallelExecutor("process", jobs, retries=retries,
                                 chunk_timeout=chunk_timeout)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"ParallelExecutor(backend={self.backend!r}, jobs={self.jobs}, "
             f"retries={self.retries})"
@@ -162,7 +162,7 @@ class ParallelExecutor:
 
     # -- dispatch -----------------------------------------------------------
 
-    def _make_pool(self, workers: int):
+    def _make_pool(self, workers: int) -> Any:
         if self.backend == "thread":
             from concurrent.futures import ThreadPoolExecutor
 
@@ -194,6 +194,7 @@ class ParallelExecutor:
             for idx, future in futures:
                 try:
                     successes[idx] = future.result(timeout=self.chunk_timeout)
+                # repro-lint: allow[broad-except] fault tolerance: failed chunks are retried, then degraded to serial
                 except Exception:
                     # Chunk exception, TimeoutError, or BrokenProcessPool
                     # (which also fails every later future of this pool).

@@ -23,7 +23,10 @@ every run carries a :class:`~repro.flow.trace.FlowTrace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, cast
+
+if TYPE_CHECKING:
+    from repro.flow.journal import InterruptGuard, RunJournal
 
 from repro.analysis import RankComparison, compare_rankings
 from repro.cells import CellLibrary, build_library
@@ -47,6 +50,7 @@ from repro.opc import ModelOpcRecipe, OpcTileTask, RuleOpcRecipe, apply_rule_opc
 from repro.opc.model_based import correct_tile_chunk
 from repro.pdk import Layers, Technology
 from repro.place import Placement, instance_gate_rects, place_rows
+from repro.place.assembler import GateRectMap
 from repro.timing import (
     StaEngine,
     StaResult,
@@ -84,7 +88,7 @@ class FlowConfig:
     #: degraded coverage fraction stamped on the report
     max_quarantine_fraction: float = 0.5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # InputValidationError subclasses ValueError, so pre-taxonomy
         # callers catching ValueError keep working.
         if self.opc_mode not in OPC_MODES:
@@ -210,7 +214,7 @@ class PostOpcTimingFlow:
         executor: Optional[ParallelExecutor] = None,
         context: Optional[FlowContext] = None,
         graph: Optional[StageGraph] = None,
-    ):
+    ) -> None:
         self.netlist = netlist
         self.tech = tech
         self.cells = cells or build_library(tech)
@@ -225,7 +229,7 @@ class PostOpcTimingFlow:
         self.graph = graph or default_stage_graph()
         self.fingerprint = self._fingerprint()
         self._placement: Optional[Placement] = None
-        self._gate_rects = None
+        self._gate_rects: Optional[GateRectMap] = None
         self._owned_polygons: Optional[List[Tuple[str, Polygon]]] = None
         self._engine: Optional[StaEngine] = None
         self._routed_engine: Optional[StaEngine] = None
@@ -268,23 +272,28 @@ class PostOpcTimingFlow:
 
     def _install_layout(self, outputs: Dict[str, object]) -> None:
         if self._placement is None:
-            self._placement = outputs["placement"]
-            self._gate_rects = outputs["gate_rects"]
-            self._owned_polygons = outputs["owned_polygons"]
+            self._placement = cast(Placement, outputs["placement"])
+            self._gate_rects = cast(GateRectMap, outputs["gate_rects"])
+            self._owned_polygons = cast(
+                List[Tuple[str, Polygon]], outputs["owned_polygons"]
+            )
 
     @property
     def placement(self) -> Placement:
         self._build_layout()
+        assert self._placement is not None
         return self._placement
 
     @property
-    def gate_rects(self):
+    def gate_rects(self) -> GateRectMap:
         self._build_layout()
+        assert self._gate_rects is not None
         return self._gate_rects
 
     @property
     def owned_polygons(self) -> List[Tuple[str, Polygon]]:
         self._build_layout()
+        assert self._owned_polygons is not None
         return self._owned_polygons
 
     @property
@@ -471,8 +480,8 @@ class PostOpcTimingFlow:
         *,
         context: Optional[FlowContext] = None,
         trace: Optional[FlowTrace] = None,
-        journal=None,
-        interrupt=None,
+        journal: Optional["RunJournal"] = None,
+        interrupt: Optional["InterruptGuard"] = None,
     ) -> FlowReport:
         """Execute the stage graph and assemble the report.
 

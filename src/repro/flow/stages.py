@@ -18,7 +18,18 @@ the drawn STA costs nothing extra.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.flow.context import MISSING, FlowContext, stable_hash
 from repro.flow.errors import FlowError, StageError
@@ -36,6 +47,12 @@ from repro.timing import (
     quarantine_derates,
     run_hold,
 )
+
+if TYPE_CHECKING:
+    from repro.flow.journal import InterruptGuard, RunJournal
+    from repro.flow.postopc import FlowConfig, PostOpcTimingFlow
+    from repro.geometry import Rect
+    from repro.litho.resist import ProcessCondition
 
 #: STA artifacts are computed at this period and re-based on demand.
 CANONICAL_PERIOD_PS = 1000.0
@@ -56,22 +73,22 @@ class FlowStage:
     #: recomputed instead of served with stale semantics
     version: int = 1
 
-    def requires(self, config) -> Tuple[str, ...]:
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         """Names of the stages whose artifacts this stage consumes (may
         depend on the config, e.g. selective OPC needs critical gates)."""
         return ()
 
-    def config_slice(self, flow, config) -> Any:
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         """The part of the config that can change this stage's output."""
         return ()
 
-    def install(self, flow, outputs: Dict[str, Any]) -> None:
+    def install(self, flow: "PostOpcTimingFlow", outputs: Dict[str, Any]) -> None:
         """Hook for cache hits: re-attach artifacts to the flow object."""
 
     def run(
         self,
-        flow,
-        config,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
         artifacts: Dict[str, Any],
         counters: Dict[str, float],
         context: FlowContext,
@@ -83,11 +100,19 @@ class PlaceStage(FlowStage):
     """Row placement, per-instance gate rects, and the flat poly layer."""
 
     name = "place"
+    version = 1
 
-    def install(self, flow, outputs):
+    def install(self, flow: "PostOpcTimingFlow", outputs: Dict[str, Any]) -> None:
         flow._install_layout(outputs)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         outputs = flow._build_layout()
         counters["gates"] = len(outputs["placement"].gates)
         counters["polygons"] = len(outputs["owned_polygons"])
@@ -98,14 +123,22 @@ class DrawnStaStage(FlowStage):
     """Drawn-CD STA at the canonical period (re-based downstream)."""
 
     name = "sta_drawn"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place",)
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         engine = flow._engine_for(config)
         sta = engine.run(TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS))
         counters["endpoints"] = len(sta.endpoints)
@@ -116,14 +149,22 @@ class TagCriticalStage(FlowStage):
     """Tag the gates on the top-K drawn speed paths (OPC hand-off)."""
 
     name = "tag_critical"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("sta_drawn",)
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.n_critical_paths,)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         critical = flow.tag_critical_gates(
             artifacts["drawn_sta"], config.n_critical_paths
         )
@@ -135,13 +176,14 @@ class OpcStage(FlowStage):
     """Mask synthesis: none / rule / model / selective."""
 
     name = "opc"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         if config.opc_mode == "selective":
             return ("place", "tag_critical")
         return ("place",)
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         mode = config.opc_mode
         if mode == "none":
             return ("none",)
@@ -152,7 +194,14 @@ class OpcStage(FlowStage):
         # depends on the tagged gates via the tag_critical parent key.
         return (mode, rule_recipe, config.model_recipe, config.condition)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         mask, n_model = flow.apply_opc(
             config,
             artifacts.get("critical_gates", set()),
@@ -169,19 +218,28 @@ class MetrologyStage(FlowStage):
     name = "metrology"
     version = 2  # v2: quarantines unsound measurements, emits cd_quarantine
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "opc")
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.condition, config.n_slices, config.process_map)
 
-    def run(self, flow, config, artifacts, counters, context):
-        condition_fn = None
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
+        condition_fn: Optional[Callable[["Rect"], "ProcessCondition"]] = None
         if config.process_map is not None:
             process_map = config.process_map
 
-            def condition_fn(interior):
+            def _map_condition(interior: "Rect") -> "ProcessCondition":
                 return process_map.condition_at(*interior.center.as_tuple())
+
+            condition_fn = _map_condition
         tasks = plan_metrology_tiles(
             flow.simulator,
             artifacts["mask_polygons"],
@@ -215,10 +273,17 @@ class BackAnnotateStage(FlowStage):
     name = "back_annotate"
     version = 2  # v2: quarantines non-physical derates, emits derate_quarantine
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("metrology",)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         derates = derates_from_measurements(
             flow.netlist, flow.cells, artifacts["measurements"], flow.model
         )
@@ -235,14 +300,22 @@ class PostStaStage(FlowStage):
     """Post-OPC STA with back-annotated derates (canonical period)."""
 
     name = "sta_post"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "back_annotate")
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         engine = flow._engine_for(config)
         sta = engine.run(
             TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS),
@@ -256,14 +329,22 @@ class HoldStage(FlowStage):
     """Register hold slacks before/after back-annotation."""
 
     name = "hold"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "back_annotate")
 
-    def config_slice(self, flow, config):
+    def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         engine = flow._engine_for(config)
         constraints = TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS)
         drawn = run_hold(engine, constraints)
@@ -279,11 +360,19 @@ class PowerStage(FlowStage):
     """Leakage before/after printed-CD annotation (the NRG model)."""
 
     name = "power"
+    version = 1
 
-    def requires(self, config):
+    def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("metrology",)
 
-    def run(self, flow, config, artifacts, counters, context):
+    def run(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        artifacts: Dict[str, Any],
+        counters: Dict[str, float],
+        context: FlowContext,
+    ) -> Dict[str, Any]:
         drawn = sum(
             instance_leakage(flow.netlist, flow.cells, {}, flow.model).values()
         )
@@ -298,27 +387,32 @@ class PowerStage(FlowStage):
 class StageGraph:
     """Executes stages in declared order with content-addressed caching."""
 
-    def __init__(self, stages: Sequence[FlowStage]):
+    def __init__(self, stages: Sequence[FlowStage]) -> None:
         names: Set[str] = set()
         for stage in stages:
             if not stage.name:
                 raise ValueError(f"stage {stage!r} has no name")
+            if not isinstance(stage.version, int) or isinstance(stage.version, bool):
+                raise ValueError(
+                    f"stage {stage.name!r} version must be an integer, "
+                    f"got {stage.version!r}"
+                )
             if stage.name in names:
                 raise ValueError(f"duplicate stage name {stage.name!r}")
             names.add(stage.name)
         self.stages: List[FlowStage] = list(stages)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FlowStage]:
         return iter(self.stages)
 
     def execute(
         self,
-        flow,
-        config,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
         context: FlowContext,
         trace: FlowTrace,
-        journal=None,
-        interrupt=None,
+        journal: Optional["RunJournal"] = None,
+        interrupt: Optional["InterruptGuard"] = None,
     ) -> Dict[str, Any]:
         """Run (or re-serve) every stage; returns the merged artifacts.
 

@@ -20,12 +20,15 @@ propagates — a stop request must stop the whole sweep, not skip a mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.flow.context import FlowContext
 from repro.flow.errors import FlowInterrupted
 from repro.flow.postopc import OPC_MODES, FlowConfig, FlowReport, PostOpcTimingFlow
+
+if TYPE_CHECKING:
+    from repro.flow.journal import InterruptGuard, RunJournal
 
 
 @dataclass
@@ -50,7 +53,7 @@ class SweepResult:
         Completed modes render as rows; failed modes are appended as a
         footer so a partial sweep still reads as one document.
         """
-        rows = []
+        rows: List[Tuple[object, ...]] = []
         for mode, report in self.reports.items():
             rows.append((
                 mode,
@@ -83,7 +86,8 @@ class SweepResult:
 class FlowSweep:
     """Runs one flow under many OPC modes with shared artifacts."""
 
-    def __init__(self, flow: PostOpcTimingFlow, modes: Sequence[str] = OPC_MODES):
+    def __init__(self, flow: PostOpcTimingFlow,
+                 modes: Sequence[str] = OPC_MODES) -> None:
         self.flow = flow
         self.modes = list(modes)
 
@@ -91,8 +95,8 @@ class FlowSweep:
         self,
         config: Optional[FlowConfig] = None,
         *,
-        journal=None,
-        interrupt=None,
+        journal: Optional["RunJournal"] = None,
+        interrupt: Optional["InterruptGuard"] = None,
     ) -> SweepResult:
         """Run every mode through the flow's shared context.
 
@@ -118,6 +122,7 @@ class FlowSweep:
                 )
             except FlowInterrupted:
                 raise  # the flow already journaled the interruption
+            # repro-lint: allow[broad-except] partial-failure safety: one bad mode must not discard the sweep
             except Exception as exc:
                 failures[mode] = f"{type(exc).__name__}: {exc}"
                 if journal is not None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -41,7 +41,7 @@ class StageRecord:
 class FlowTrace:
     """Ordered record of the stages one flow run executed."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.records: List[StageRecord] = []
 
     def add(
@@ -60,7 +60,7 @@ class FlowTrace:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[StageRecord]:
         return iter(self.records)
 
     def record_for(self, name: str) -> Optional[StageRecord]:

@@ -1,0 +1,38 @@
+"""Static analysis for flow determinism and contract hygiene.
+
+The flow's correctness guarantees — bit-identical resume, stable artifact
+keys, ordered journals, the FlowError exit-code taxonomy — all rest on
+coding invariants (seeded RNG, no wall-clock entropy near hashing,
+sorted set iteration, declared stage versions) that no runtime test can
+enforce exhaustively.  :mod:`repro.lintcheck` enforces them statically:
+an AST-based rule engine with a pluggable registry, inline
+``# repro-lint: allow[RULE]`` waivers, and a ``repro lint`` CLI
+subcommand whose exit codes fold into the flow's 0/1/3 contract.
+"""
+
+from repro.lintcheck.core import (
+    Finding,
+    LintRule,
+    ModuleSource,
+    check_paths,
+    check_source,
+    iter_rules,
+    parse_waivers,
+    register,
+    rules_for,
+)
+
+# Importing the rules module registers the built-in rule set.
+from repro.lintcheck import rules as _builtin_rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModuleSource",
+    "check_paths",
+    "check_source",
+    "iter_rules",
+    "parse_waivers",
+    "register",
+    "rules_for",
+]

@@ -1,0 +1,51 @@
+"""``repro lint`` — the CLI face of the determinism/contract checker.
+
+Exit codes fold into the flow's contract: ``0`` clean, ``1`` findings,
+``3`` invalid input (unknown rule, missing path — raised as
+:class:`~repro.flow.errors.InputValidationError` and mapped by the
+top-level CLI handler).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.lintcheck.core import check_paths, iter_rules, rules_for
+
+
+def list_rules(out: Optional[TextIO] = None) -> int:
+    """Print the registered rule table (id, title, scope)."""
+    out = out if out is not None else sys.stdout
+    rules = iter_rules()
+    width = max(len(rule.id) for rule in rules)
+    for rule in rules:
+        scope = "all files" if rule.applies_to("src/repro/anywhere.py") else "scoped"
+        out.write(f"{rule.id:<{width}}  {rule.title} [{scope}]\n")
+    out.write(f"{len(rules)} rules; waive inline with "
+              "`# repro-lint: allow[rule-id]`\n")
+    return 0
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    no_waivers: bool = False,
+    exclude: Optional[Sequence[str]] = None,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Lint ``paths``; print ``file:line:col: RULE message`` per finding."""
+    out = out if out is not None else sys.stdout
+    rules = rules_for(select=select, ignore=ignore)
+    findings = check_paths(
+        list(paths), rules=rules, apply_waivers=not no_waivers, exclude=exclude
+    )
+    for found in findings:
+        out.write(found.render() + "\n")
+    names: List[str] = sorted({found.rule for found in findings})
+    if findings:
+        out.write(f"{len(findings)} finding(s) [{', '.join(names)}]\n")
+        return 1
+    out.write(f"clean ({len(rules)} rules)\n")
+    return 0

@@ -1,0 +1,568 @@
+"""The built-in rule set of the determinism/contract checker.
+
+Every rule documents the invariant it protects; scopes follow the
+guarantees, not the directory layout for its own sake — e.g. unordered
+iteration only corrupts behaviour where order reaches an artifact key,
+a journal line, or an export stream, so that rule pins ``repro/flow/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lintcheck.core import Finding, LintRule, ModuleSource, register
+
+
+def _dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _walk_skipping_functions(nodes: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function bodies
+    (a ``raise`` inside a nested def does not re-raise for the handler)."""
+    stack: List[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _inside_sorted_call(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` sits under the arguments of a ``sorted(...)``
+    call — the sort re-establishes a deterministic order downstream."""
+    current: Optional[ast.AST] = node
+    while current is not None:
+        parent = parents.get(current)
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and current is not parent.func
+        ):
+            return True
+        current = parent
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: unseeded-rng
+# ---------------------------------------------------------------------------
+
+#: the only sanctioned constructors of randomness; everything else on the
+#: ``random`` / ``numpy.random`` modules draws from hidden global state
+_RANDOM_ALLOWED = {"Random"}
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+
+@register
+class UnseededRngRule(LintRule):
+    """All randomness must flow from an explicitly seeded generator.
+
+    Module-level calls (``random.gauss``, ``np.random.normal``,
+    ``random.seed``) draw from interpreter-global state that any import
+    or test-ordering change silently perturbs — which breaks
+    bit-identical resume.  Constructing a generator *without* a seed
+    (``random.Random()``, ``default_rng()``) is flagged for the same
+    reason.
+    """
+
+    id = "unseeded-rng"
+    title = "RNG must be an explicit seeded generator"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        random_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+        nprandom_aliases: Set[str] = set()
+        banned_names: Dict[str, str] = {}
+        seeded_ctor_names: Set[str] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            nprandom_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module == "random":
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if alias.name in _RANDOM_ALLOWED:
+                            seeded_ctor_names.add(bound)
+                        else:
+                            banned_names[bound] = f"random.{alias.name}"
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if alias.name in _NUMPY_RANDOM_ALLOWED:
+                            seeded_ctor_names.add(bound)
+                        else:
+                            banned_names[bound] = f"numpy.random.{alias.name}"
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            label = ".".join(dotted)
+            if len(dotted) == 2 and dotted[0] in random_aliases:
+                if dotted[1] in _RANDOM_ALLOWED:
+                    if not self._has_seed(node):
+                        yield self.finding(
+                            module, node,
+                            f"`{label}()` constructed without a seed; pass an "
+                            "explicit seed so reruns are bit-identical",
+                        )
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"module-level RNG call `{label}` uses hidden global "
+                        "state; draw from an explicit `random.Random(seed)`",
+                    )
+            elif (
+                (len(dotted) == 3 and dotted[0] in numpy_aliases
+                 and dotted[1] == "random")
+                or (len(dotted) == 2 and dotted[0] in nprandom_aliases)
+            ):
+                attr = dotted[-1]
+                if attr in _NUMPY_RANDOM_ALLOWED:
+                    if not self._has_seed(node):
+                        yield self.finding(
+                            module, node,
+                            f"`{label}()` constructed without a seed; pass an "
+                            "explicit seed so reruns are bit-identical",
+                        )
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"module-level RNG call `{label}` uses hidden global "
+                        "state; draw from `numpy.random.default_rng(seed)`",
+                    )
+            elif len(dotted) == 1:
+                name = dotted[0]
+                if name in banned_names:
+                    yield self.finding(
+                        module, node,
+                        f"module-level RNG call `{banned_names[name]}` uses "
+                        "hidden global state; draw from an explicit seeded "
+                        "generator",
+                    )
+                elif name in seeded_ctor_names and not self._has_seed(node):
+                    yield self.finding(
+                        module, node,
+                        f"`{name}()` constructed without a seed; pass an "
+                        "explicit seed so reruns are bit-identical",
+                    )
+
+    @staticmethod
+    def _has_seed(call: ast.Call) -> bool:
+        if call.args:
+            first = call.args[0]
+            return not (isinstance(first, ast.Constant) and first.value is None)
+        return any(kw.arg == "seed" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ) for kw in call.keywords)
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: hash-entropy
+# ---------------------------------------------------------------------------
+
+#: dotted calls that differ between two otherwise identical runs
+_ENTROPY_DOTTED = {
+    ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+    ("time", "monotonic_ns"), ("os", "urandom"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+}
+_ENTROPY_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_ENTROPY_BUILTINS = {"id", "hash"}
+#: function names that feed artifact keys by contract even though the
+#: ``stable_hash`` call happens in their caller
+_KEY_FEEDING_FUNCTIONS = {"config_slice", "fingerprint", "_fingerprint"}
+
+
+@register
+class HashEntropyRule(LintRule):
+    """No per-run entropy may reach ``stable_hash`` or artifact keys.
+
+    ``time.time()``, ``datetime.now()``, ``os.urandom()``, ``uuid4()``,
+    ``id()`` and the salted builtin ``hash()`` differ between two
+    otherwise identical runs; one of them inside a key computation makes
+    every cache lookup a miss (or, worse, a false hit after a collision).
+    Checked inside any function that calls ``stable_hash`` or is named
+    ``config_slice``/``fingerprint``, plus the argument expressions of
+    every ``stable_hash(...)`` call.
+    """
+
+    id = "hash-entropy"
+    title = "no wall-clock/address entropy near stable_hash"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for scope_node, scope_label in self._key_feeding_scopes(module.tree):
+            for found in self._scan(module, scope_node, scope_label):
+                key = (found.line, found.col)
+                if key not in seen:
+                    seen.add(key)
+                    yield found
+
+    def _key_feeding_scopes(
+        self, tree: ast.Module
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _KEY_FEEDING_FUNCTIONS or any(
+                    self._is_stable_hash_call(child) for child in ast.walk(node)
+                ):
+                    yield node, f"function {node.name!r}"
+            elif self._is_stable_hash_call(node):
+                # Covers module-level key computations outside any def.
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    yield arg, "stable_hash argument"
+
+    @staticmethod
+    def _is_stable_hash_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _dotted_name(node.func)
+        return bool(dotted) and dotted[-1] == "stable_hash"
+
+    def _scan(
+        self, module: ModuleSource, scope: ast.AST, scope_label: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            label = ".".join(dotted)
+            entropic = (
+                dotted[-2:] in _ENTROPY_DOTTED
+                or (len(dotted) == 1 and dotted[0] in _ENTROPY_BUILTINS)
+                or (
+                    dotted[-1] in _ENTROPY_DATETIME_ATTRS
+                    and any(part in ("datetime", "date") for part in dotted[:-1])
+                )
+            )
+            if entropic:
+                yield self.finding(
+                    module, node,
+                    f"`{label}` is per-run entropy inside {scope_label}, which "
+                    "feeds stable_hash/artifact keys; derive the value from "
+                    "run inputs instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: unordered-iteration
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnorderedIterationRule(LintRule):
+    """Set iteration in hashing/journaling/export paths needs ``sorted``.
+
+    ``repro/flow/`` turns iteration order into artifact keys, journal
+    lines and export streams; iterating a ``set``/``frozenset`` there
+    leaks ``PYTHONHASHSEED`` into supposedly content-addressed output.
+    Flagged: ``for`` loops and comprehensions whose iterable is a set
+    literal, a set/frozenset constructor, a set-typed annotation, or a
+    local assigned from one — unless the iteration sits under a
+    ``sorted(...)`` call.
+    """
+
+    id = "unordered-iteration"
+    title = "sort set iteration in hash/journal/export paths"
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/flow/" in path or "repro/flow" == path.rstrip("/")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents = _parent_map(module.tree)
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            set_vars = self._set_origin_locals(scope)
+            for node in self._own_nodes(scope):
+                iters: List[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.GeneratorExp, ast.DictComp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for iterable in iters:
+                    if not self._is_set_like(iterable, set_vars):
+                        continue
+                    if _inside_sorted_call(iterable, parents):
+                        continue
+                    yield self.finding(
+                        module, iterable,
+                        "iteration order of a set/frozenset depends on "
+                        "PYTHONHASHSEED and poisons hashes/journals/exports; "
+                        "wrap the iterable in sorted(...)",
+                    )
+
+    def _own_nodes(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without re-entering nested function scopes (they
+        are visited as scopes of their own, with their own locals)."""
+        children = (
+            scope.body if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else [scope]
+        )
+        for found in _walk_skipping_functions(list(children)):
+            yield found
+
+    def _set_origin_locals(self, scope: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in self._own_nodes(scope):
+            if isinstance(node, ast.Assign) and self._is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if self._is_set_annotation(node.annotation) or (
+                    node.value is not None and self._is_set_expr(node.value, names)
+                ):
+                    names.add(node.target.id)
+        return names
+
+    def _is_set_like(self, node: ast.expr, set_vars: Set[str]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        return self._is_set_expr(node, set_vars)
+
+    def _is_set_expr(self, node: ast.expr, set_vars: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp):
+            return (
+                self._is_set_like(node.left, set_vars)
+                or self._is_set_like(node.right, set_vars)
+            )
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr) -> bool:
+        target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        dotted = _dotted_name(target)
+        return bool(dotted) and dotted[-1] in (
+            "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: stage-contract
+# ---------------------------------------------------------------------------
+
+
+@register
+class StageContractRule(LintRule):
+    """Every FlowStage subclass declares its cache-key contract statically.
+
+    ``name`` and an integer ``version`` are folded into every artifact
+    key; a subclass inheriting them silently shares (or silently
+    invalidates) cache entries.  Artifact dicts returned by ``run`` must
+    use string-literal keys so the declared artifact names stay
+    statically auditable.
+    """
+
+    id = "stage-contract"
+    title = "FlowStage subclasses declare name + integer version"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                (dotted := _dotted_name(base)) and dotted[-1] == "FlowStage"
+                for base in node.bases
+            ):
+                continue
+            name_value = self._class_constant(node, "name")
+            version_value = self._class_constant(node, "version")
+            if not (isinstance(name_value, str) and name_value):
+                yield self.finding(
+                    module, node,
+                    f"stage {node.name!r} must declare a non-empty class-level "
+                    "string `name` (it is part of every artifact key)",
+                )
+            if not (isinstance(version_value, int)
+                    and not isinstance(version_value, bool)):
+                yield self.finding(
+                    module, node,
+                    f"stage {node.name!r} must declare a class-level integer "
+                    "`version` (bump it when output semantics change, so "
+                    "persistent caches recompute instead of serving stale "
+                    "artifacts)",
+                )
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "run":
+                    yield from self._check_artifact_keys(module, node, item)
+
+    @staticmethod
+    def _class_constant(node: ast.ClassDef, attr: str) -> object:
+        for item in node.body:
+            value: Optional[ast.expr] = None
+            if isinstance(item, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == attr for t in item.targets
+            ):
+                value = item.value
+            elif (isinstance(item, ast.AnnAssign)
+                  and isinstance(item.target, ast.Name)
+                  and item.target.id == attr):
+                value = item.value
+            if isinstance(value, ast.Constant):
+                return value.value
+        return None
+
+    def _check_artifact_keys(
+        self, module: ModuleSource, cls: ast.ClassDef, run: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in _walk_skipping_functions(list(run.body)):
+            if not isinstance(node, ast.Return) or not isinstance(node.value, ast.Dict):
+                continue
+            for key in node.value.keys:
+                if key is None:
+                    continue  # dict unpacking merges already-checked dicts
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    yield self.finding(
+                        module, key,
+                        f"stage {cls.name!r}: artifact keys returned by run() "
+                        "must be string literals so the stage's outputs are "
+                        "statically auditable",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: broad-except
+# ---------------------------------------------------------------------------
+
+
+@register
+class BroadExceptRule(LintRule):
+    """Broad catches in the flow layer must re-raise or be waived.
+
+    The exit-code contract only holds if failures travel through the
+    FlowError taxonomy; an ``except Exception`` that swallows is a latent
+    contract hole.  Compliant handlers contain a ``raise`` (bare re-raise
+    or wrapping in a FlowError subclass); deliberate tolerance (cache
+    corruption, top-level CLI mapping) carries an explicit waiver with
+    its justification.
+    """
+
+    id = "broad-except"
+    title = "flow-layer broad except must re-raise, wrap, or waive"
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/flow/" in path or path.endswith("repro/__main__.py")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(inner, ast.Raise)
+                   for inner in _walk_skipping_functions(list(node.body))):
+                continue
+            yield self.finding(
+                module, node,
+                "broad except swallows the failure outside the FlowError "
+                "taxonomy; re-raise, wrap in a FlowError subclass, or waive "
+                "with a one-line justification",
+            )
+
+    def _is_broad(self, type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True  # bare except
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(item) for item in type_node.elts)
+        dotted = _dotted_name(type_node)
+        return bool(dotted) and dotted[-1] in ("Exception", "BaseException")
+
+
+# ---------------------------------------------------------------------------
+# Rule 6: mutable-default
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict"}
+
+
+@register
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments, anywhere.
+
+    A mutable default is shared across calls: state leaks between flow
+    runs and between tests, the classic source of
+    works-alone-fails-in-suite bugs.  Use ``None`` plus an inside-the-
+    function default (or ``dataclasses.field(default_factory=...)``).
+    """
+
+    id = "mutable-default"
+    title = "no mutable default arguments"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            label = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {label!r} is shared "
+                        "across calls; default to None and create the value "
+                        "inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return bool(dotted) and dotted[-1] in _MUTABLE_CTORS
+        return False

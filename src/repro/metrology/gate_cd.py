@@ -10,7 +10,17 @@ gate contact), feeding the non-rectangular-transistor model downstream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -227,7 +237,7 @@ def plan_metrology_tiles(
     condition: ProcessCondition = NOMINAL,
     region: Optional[Rect] = None,
     n_slices: int = 5,
-    condition_fn=None,
+    condition_fn: Optional[Callable[[Rect], ProcessCondition]] = None,
 ) -> List[MetrologyTileTask]:
     """Extract the per-tile metrology work-list.
 
@@ -264,7 +274,9 @@ def plan_metrology_tiles(
     return tasks
 
 
-def measure_tile_chunk(payload) -> List[Dict[Hashable, GateCdMeasurement]]:
+def measure_tile_chunk(
+    payload: Tuple[LithographySimulator, Sequence[MetrologyTileTask]],
+) -> List[Dict[Hashable, GateCdMeasurement]]:
     """Chunk worker: measure a list of tiles with one simulator.
 
     ``payload`` is ``(simulator, [MetrologyTileTask, ...])``.  Module-level
@@ -273,7 +285,7 @@ def measure_tile_chunk(payload) -> List[Dict[Hashable, GateCdMeasurement]]:
     for the rest of the chunk.
     """
     simulator, tasks = payload
-    results = []
+    results: List[Dict[Hashable, GateCdMeasurement]] = []
     for task in tasks:
         tile = simulator.simulate_tile(task.spec, list(task.polygons))
         results.append(measure_gate_cds(
@@ -292,8 +304,8 @@ def measure_layout_gate_cds(
     condition: ProcessCondition = NOMINAL,
     region: Optional[Rect] = None,
     n_slices: int = 5,
-    condition_fn=None,
-    executor=None,
+    condition_fn: Optional[Callable[[Rect], ProcessCondition]] = None,
+    executor: Optional[Any] = None,
 ) -> Dict[Hashable, GateCdMeasurement]:
     """Full-layout gate metrology via tiled simulation.
 

@@ -34,7 +34,7 @@ class CdStatistics:
     def three_sigma(self) -> float:
         return 3.0 * self.sigma
 
-    def __str__(self):
+    def __str__(self) -> str:
         return (
             f"n={self.count} mean={self.mean:+.2f} sigma={self.sigma:.2f} "
             f"range=[{self.minimum:+.2f}, {self.maximum:+.2f}] nm"

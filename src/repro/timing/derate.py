@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Mapping, Tuple
 
-from repro.cells import CellLibrary
+from repro.cells import CellLibrary, StandardCell
 from repro.circuits import Netlist
 from repro.device import AlphaPowerModel, extract_equivalent_lengths
 from repro.metrology.gate_cd import GateCdMeasurement
@@ -92,7 +92,7 @@ def quarantine_derates(
 
 
 def _strength_ratio(
-    cell,
+    cell: StandardCell,
     mos_type: str,
     overrides: Mapping[str, Tuple[float, float]],
     model: AlphaPowerModel,

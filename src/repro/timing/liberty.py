@@ -21,7 +21,7 @@ class TimingTable:
     loads: Tuple[float, ...]
     values: Tuple[Tuple[float, ...], ...]  # values[i][j] at (slews[i], loads[j])
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.slews or not self.loads:
             raise ValueError("table axes must be non-empty")
         if list(self.slews) != sorted(self.slews) or list(self.loads) != sorted(self.loads):
@@ -76,7 +76,7 @@ class TimingArc:
     slew_rise: TimingTable
     slew_fall: TimingTable
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sense not in ("positive", "negative", "non_unate"):
             raise ValueError(f"bad arc sense {self.sense!r}")
 
@@ -119,7 +119,7 @@ class LibertyCell:
 class LibertyLibrary:
     """A set of characterized cells."""
 
-    def __init__(self, name: str = "repro_typ"):
+    def __init__(self, name: str = "repro_typ") -> None:
         self.name = name
         self.cells: Dict[str, LibertyCell] = {}
 

@@ -9,7 +9,7 @@ fF.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingTable
 
@@ -39,7 +39,9 @@ def write_liberty(library: LibertyLibrary) -> str:
     return "\n".join(out) + "\n"
 
 
-def _template_of(library: LibertyLibrary):
+def _template_of(
+    library: LibertyLibrary,
+) -> Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]]:
     for cell in library.cells.values():
         for arc in cell.arcs:
             return arc.delay_rise.slews, arc.delay_rise.loads
@@ -92,5 +94,5 @@ def _table_lines(keyword: str, table: TimingTable) -> List[str]:
     return lines
 
 
-def _values(axis) -> str:
+def _values(axis: Sequence[float]) -> str:
     return '"' + ", ".join(f"{v:g}" for v in axis) + '"'

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.cells import StandardCell
 from repro.circuits import Netlist
 from repro.device import AlphaPowerModel
 from repro.place.placer import Placement
@@ -92,7 +93,7 @@ class MonteCarloResult:
         return ordered[min(index, len(ordered) - 1)]
 
 
-def derate_for_delta_l(cell, delta_l: float, model: AlphaPowerModel) -> InstanceDerate:
+def derate_for_delta_l(cell: StandardCell, delta_l: float, model: AlphaPowerModel) -> InstanceDerate:
     """Derate for a uniform gate-length shift of one instance."""
     length = cell.transistors[0].length
     new_length = max(length + delta_l, model.params.l_min * 0.8)

@@ -46,7 +46,7 @@ class TimingPath:
     def name(self) -> str:
         return f"{self.endpoint_net}:{self.endpoint_transition}"
 
-    def __str__(self):
+    def __str__(self) -> str:
         chain = " -> ".join(self.gates) or "<direct>"
         return (
             f"path to {self.name}: arrival {self.arrival:.1f} ps, "

@@ -149,7 +149,7 @@ class StaEngine:
         placement: Optional[Placement] = None,
         wire_model: Optional[WireModel] = None,
         net_lengths: Optional[Mapping[str, float]] = None,
-    ):
+    ) -> None:
         self.netlist = netlist
         self.cells = cells
         self.liberty = liberty
@@ -281,7 +281,9 @@ class StaEngine:
         self._collect_endpoints(result, constraints)
         return result
 
-    def _collect_endpoints(self, result: StaResult, constraints: TimingConstraints):
+    def _collect_endpoints(
+        self, result: StaResult, constraints: TimingConstraints
+    ) -> None:
         period = constraints.clock_period_ps
         for net in self.netlist.outputs:
             for transition in TRANSITIONS:

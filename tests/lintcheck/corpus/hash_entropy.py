@@ -1,0 +1,34 @@
+"""Corpus: per-run entropy feeding stable_hash / artifact keys."""
+
+import os
+import time
+from datetime import datetime
+
+from repro.flow.context import stable_hash
+
+
+def key_with_wallclock(config: object) -> str:
+    stamp = time.time()  # finding: entropy in a stable_hash-calling function
+    return stable_hash((config, stamp))
+
+
+def key_with_clock_inline(config: object) -> str:
+    return stable_hash((config, datetime.now()))  # finding: datetime.now
+
+
+def key_with_urandom(config: object) -> str:
+    salt = os.urandom(8)  # finding: os.urandom
+    return stable_hash((config, salt))
+
+
+def key_with_address(config: object) -> str:
+    return stable_hash((config, id(config)))  # finding: id()
+
+
+class FakeStage:
+    def config_slice(self, flow: object, config: object) -> tuple:
+        return (hash(config),)  # finding: salted builtin hash in key feeder
+
+
+def unrelated_timing() -> float:
+    return time.time()  # ok: nowhere near stable_hash

@@ -1,0 +1,24 @@
+"""Corpus: mutable default arguments."""
+
+from typing import Dict, List, Optional
+
+
+def appends(item: int, bucket: List[int] = []) -> List[int]:  # finding
+    bucket.append(item)
+    return bucket
+
+
+def merges(extra: Dict[str, int], base: Dict[str, int] = {}) -> Dict[str, int]:  # finding
+    base.update(extra)
+    return base
+
+
+def collects(item: int, *, seen: set = set()) -> set:  # finding (kw-only)
+    seen.add(item)
+    return seen
+
+
+def compliant(item: int, bucket: Optional[List[int]] = None) -> List[int]:  # ok
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket

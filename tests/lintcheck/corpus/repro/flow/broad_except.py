@@ -1,0 +1,22 @@
+"""Corpus: broad excepts in a flow-path module."""
+
+
+def swallows() -> int:
+    try:
+        return 1
+    except Exception:  # finding: swallowed outside the taxonomy
+        return 0
+
+
+def swallows_bare() -> int:
+    try:
+        return 1
+    except:  # noqa: E722  # finding: bare except
+        return 0
+
+
+def rewraps() -> int:
+    try:
+        return 1
+    except Exception as exc:  # ok: wraps and re-raises
+        raise RuntimeError("wrapped") from exc

@@ -1,0 +1,25 @@
+"""Corpus: set iteration in a flow-path module without sorted()."""
+
+from typing import List, Set
+
+
+def journal_gate_names(gates: List[str]) -> List[str]:
+    seen = set(gates)
+    out = []
+    for name in seen:  # finding: set iteration, order leaks into output
+        out.append(name)
+    return out
+
+
+def export_layers(extra: Set[str]) -> List[str]:
+    layers: Set[str] = {"poly", "opc"} | extra
+    return [layer for layer in layers]  # finding: comprehension over a set
+
+
+def hash_tokens(items: List[str]) -> List[str]:
+    return [token for token in {repr(item) for item in items}]  # finding
+
+
+def compliant(gates: List[str]) -> List[str]:
+    seen = set(gates)
+    return [name for name in sorted(seen)]  # ok: sorted re-orders

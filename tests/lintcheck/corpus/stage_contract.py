@@ -1,0 +1,28 @@
+"""Corpus: FlowStage subclasses violating the static contract."""
+
+from repro.flow.stages import FlowStage
+
+
+class NoVersionStage(FlowStage):  # finding: no integer version declared
+    name = "no_version"
+
+
+class NoNameStage(FlowStage):  # finding: no non-empty name declared
+    version = 1
+
+
+class DynamicKeyStage(FlowStage):
+    name = "dynamic_key"
+    version = 1
+
+    def run(self, flow, config, artifacts, counters, context):
+        key = "computed"
+        return {key: 1}  # finding: artifact key is not a string literal
+
+
+class CompliantStage(FlowStage):  # ok
+    name = "compliant"
+    version = 3
+
+    def run(self, flow, config, artifacts, counters, context):
+        return {"artifact": 1}

@@ -1,0 +1,35 @@
+"""Corpus: every flavour of unseeded RNG the checker must flag."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import gauss
+
+
+def module_level_random() -> float:
+    return random.random()  # finding: hidden global state
+
+
+def module_level_numpy() -> float:
+    return float(np.random.normal())  # finding: hidden global state
+
+
+def imported_name() -> float:
+    return gauss(0.0, 1.0)  # finding: hidden global state
+
+
+def seedless_generator() -> float:
+    rng = random.Random()  # finding: constructed without a seed
+    return rng.random()
+
+
+def seedless_numpy_generator() -> float:
+    rng = default_rng()  # finding: constructed without a seed
+    return float(rng.normal())
+
+
+def compliant(seed: int) -> float:
+    rng = random.Random(seed)  # ok: explicit seed
+    nprng = np.random.default_rng(seed)  # ok: explicit seed
+    return rng.random() + float(nprng.normal())

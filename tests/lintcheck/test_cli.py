@@ -1,0 +1,101 @@
+"""`repro lint` CLI: exit-code contract, output format, corpus, and the
+shipped tree staying green."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.lintcheck import check_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+CORPUS = os.path.join(REPO_ROOT, "tests", "lintcheck", "corpus")
+
+
+class TestExitCodes:
+    def test_shipped_tree_is_green(self, capsys):
+        assert main(["lint", SRC]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1_with_file_line_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(items=[]):\n    return items\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:1:" in out
+        assert "mutable-default" in out
+
+    def test_missing_path_exit_3(self, capsys):
+        assert main(["lint", os.path.join(str(REPO_ROOT), "no-such-dir")]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exit_3(self, capsys):
+        assert main(["lint", SRC, "--select", "no-such-rule"]) == 3
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("unseeded-rng", "hash-entropy", "unordered-iteration",
+                        "stage-contract", "broad-except", "mutable-default"):
+            assert rule_id in out
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "def f(items=[]):\n"
+            "    return random.random()\n"
+        )
+        assert main(["lint", str(bad), "--select", "unseeded-rng",
+                     "--ignore", "unseeded-rng"]) == 0
+        assert main(["lint", str(bad), "--select", "unseeded-rng"]) == 1
+
+    def test_exclude_drops_matching_files(self):
+        assert main(["lint", CORPUS, "--exclude", "corpus"]) == 3  # nothing left
+        assert main(["lint", CORPUS]) == 1
+
+
+class TestCorpus:
+    """The checker checking itself: every rule fires somewhere in the
+    corpus, and the fully-waived file contributes nothing."""
+
+    def test_every_rule_fires_in_corpus(self):
+        findings = check_paths([CORPUS])
+        fired = {finding.rule for finding in findings}
+        assert fired == {
+            "unseeded-rng", "hash-entropy", "unordered-iteration",
+            "stage-contract", "broad-except", "mutable-default",
+        }
+
+    def test_waived_file_is_clean(self):
+        waived = os.path.join(CORPUS, "waived_ok.py")
+        assert check_paths([waived]) == []
+        # ...and only because of the waivers:
+        assert check_paths([waived], apply_waivers=False) != []
+
+    def test_scoped_rules_fire_only_under_flow_paths(self):
+        findings = check_paths([CORPUS])
+        for finding in findings:
+            if finding.rule in ("unordered-iteration", "broad-except"):
+                assert "repro" + os.sep + "flow" in finding.path or \
+                    "repro/flow" in finding.path
+
+
+class TestNoWaiversFlag:
+    def test_no_waivers_reports_audited_sites(self, capsys):
+        # The four deliberate broad-except sites (cache corruption
+        # tolerance, worker fault tolerance, sweep partial-failure
+        # capture) must stay visible to an audit run.
+        assert main(["lint", SRC, "--no-waivers", "--select", "broad-except"]) == 1
+        out = capsys.readouterr().out
+        assert "context.py" in out
+        assert "parallel.py" in out
+        assert "sweep.py" in out
+
+
+@pytest.mark.parametrize("design_flag", [[], ["--select", "stage-contract"]])
+def test_shipped_stage_graph_satisfies_contract(design_flag):
+    """All nine shipped stages declare name + version (satellite fix)."""
+    stages_py = os.path.join(SRC, "repro", "flow", "stages.py")
+    assert main(["lint", stages_py] + design_flag) == 0

@@ -1,0 +1,31 @@
+"""The strict-typing gate as a pytest test.
+
+CI runs ``mypy src`` as its own job; this wrapper makes the same gate
+fail the test suite anywhere mypy is installed (and skip cleanly where
+it is not — the runtime image does not ship it).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_mypy_strict_packages():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        "mypy failed:\n" + result.stdout + result.stderr
+    )
+
+
+def test_py_typed_marker_ships():
+    assert os.path.exists(os.path.join(REPO_ROOT, "src", "repro", "py.typed"))
