@@ -265,16 +265,27 @@ def cmd_litho(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.lintcheck.cli import list_rules, run_lint
+    from repro.lintcheck.cli import list_rules, run_lint, write_fingerprints
 
     if args.list_rules:
         return list_rules()
+    if args.write_stage_fingerprints:
+        return write_fingerprints(
+            args.paths,
+            args.stage_fingerprints or ".repro-stage-fingerprints.json",
+            exclude=args.exclude,
+        )
     return run_lint(
         args.paths,
         select=args.select,
         ignore=args.ignore,
         no_waivers=args.no_waivers,
         exclude=args.exclude,
+        fmt=args.format,
+        jobs=args.jobs,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+        stage_fingerprints=args.stage_fingerprints,
     )
 
 
@@ -372,6 +383,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "`# repro-lint: allow[...]` waiver covers them")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      help="output format (sarif = SARIF 2.1.0 for code "
+                           "scanning; default: text)")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan per-module rules out over N worker "
+                           "processes (default: 1 = serial)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppress findings grandfathered in this "
+                           "baseline file")
+    lint.add_argument("--write-baseline", nargs="?", metavar="PATH",
+                      const=".repro-lint-baseline.json", default=None,
+                      help="record the current findings as the baseline "
+                           "(default path: .repro-lint-baseline.json) and exit 0")
+    lint.add_argument("--stage-fingerprints", default=None, metavar="PATH",
+                      help="stage version fingerprint file for the "
+                           "stale-version rule (default: "
+                           ".repro-stage-fingerprints.json when present)")
+    lint.add_argument("--write-stage-fingerprints", action="store_true",
+                      help="record current stage (version, shape) "
+                           "fingerprints and exit 0")
     lint.set_defaults(func=cmd_lint)
     return parser
 

@@ -8,29 +8,42 @@ enforce exhaustively.  :mod:`repro.lintcheck` enforces them statically:
 an AST-based rule engine with a pluggable registry, inline
 ``# repro-lint: allow[RULE]`` waivers, and a ``repro lint`` CLI
 subcommand whose exit codes fold into the flow's 0/1/3 contract.
+
+On top of the per-module rules sits a whole-program dataflow layer
+(:mod:`repro.lintcheck.callgraph` / :mod:`~repro.lintcheck.cachesafety`
+/ :mod:`~repro.lintcheck.taint`): cache-safety of every ``FlowStage``
+(everything ``run()`` reads must be in its Merkle artifact key) and
+inter-procedural entropy taint from sources like ``time.time()`` to
+determinism sinks like ``stable_hash``, with full source→sink paths.
 """
 
 from repro.lintcheck.core import (
     Finding,
     LintRule,
     ModuleSource,
+    ProjectRule,
     check_paths,
     check_source,
+    collect_files,
     iter_rules,
     parse_waivers,
     register,
     rules_for,
 )
 
-# Importing the rules module registers the built-in rule set.
+# Importing the rule modules registers the built-in rule set.
+from repro.lintcheck import cachesafety as _cachesafety_rules  # noqa: F401
 from repro.lintcheck import rules as _builtin_rules  # noqa: F401
+from repro.lintcheck import taint as _taint_rules  # noqa: F401
 
 __all__ = [
     "Finding",
     "LintRule",
     "ModuleSource",
+    "ProjectRule",
     "check_paths",
     "check_source",
+    "collect_files",
     "iter_rules",
     "parse_waivers",
     "register",

@@ -4,6 +4,13 @@ Exit codes fold into the flow's contract: ``0`` clean, ``1`` findings,
 ``3`` invalid input (unknown rule, missing path — raised as
 :class:`~repro.flow.errors.InputValidationError` and mapped by the
 top-level CLI handler).
+
+Beyond the plain run, the CLI speaks three formats (``--format
+text|json|sarif``), grandfathers known findings through a committed
+baseline (``--baseline`` / ``--write-baseline``), fans the per-module
+rules out over processes (``--jobs``), and maintains the stage version
+fingerprint file the ``stale-version`` rule compares against
+(``--stage-fingerprints`` / ``--write-stage-fingerprints``).
 """
 
 from __future__ import annotations
@@ -11,7 +18,13 @@ from __future__ import annotations
 import sys
 from typing import List, Optional, Sequence, TextIO
 
-from repro.lintcheck.core import check_paths, iter_rules, rules_for
+from repro.lintcheck.core import check_paths, collect_files, iter_rules, rules_for
+from repro.lintcheck.formats import (
+    apply_baseline,
+    load_baseline,
+    render,
+    write_baseline,
+)
 
 
 def list_rules(out: Optional[TextIO] = None) -> int:
@@ -27,6 +40,24 @@ def list_rules(out: Optional[TextIO] = None) -> int:
     return 0
 
 
+def write_fingerprints(
+    paths: Sequence[str],
+    fingerprints_path: str,
+    exclude: Optional[Sequence[str]] = None,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Record the current (version, shape) of every stage in ``paths``."""
+    from repro.lintcheck.callgraph import Project
+    from repro.lintcheck.cachesafety import write_stage_fingerprints
+
+    out = out if out is not None else sys.stdout
+    files = collect_files(paths, exclude=exclude)
+    project = Project.from_files(files)
+    count = write_stage_fingerprints(project, fingerprints_path)
+    out.write(f"recorded {count} stage fingerprint(s) in {fingerprints_path}\n")
+    return 0
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
@@ -34,16 +65,39 @@ def run_lint(
     no_waivers: bool = False,
     exclude: Optional[Sequence[str]] = None,
     out: Optional[TextIO] = None,
+    fmt: str = "text",
+    jobs: int = 1,
+    baseline: Optional[str] = None,
+    write_baseline_path: Optional[str] = None,
+    stage_fingerprints: Optional[str] = None,
 ) -> int:
-    """Lint ``paths``; print ``file:line:col: RULE message`` per finding."""
+    """Lint ``paths``; render findings in ``fmt``; exit 1 on findings.
+
+    With ``baseline`` set, grandfathered findings are suppressed before
+    rendering; with ``write_baseline_path`` set, the run records the
+    current findings as the new baseline and exits 0.
+    """
     out = out if out is not None else sys.stdout
     rules = rules_for(select=select, ignore=ignore)
     findings = check_paths(
-        list(paths), rules=rules, apply_waivers=not no_waivers, exclude=exclude
+        list(paths), rules=rules, apply_waivers=not no_waivers,
+        exclude=exclude, jobs=jobs, stage_fingerprints=stage_fingerprints,
     )
-    for found in findings:
-        out.write(found.render() + "\n")
+    if write_baseline_path is not None:
+        count = write_baseline(findings, write_baseline_path)
+        out.write(f"baselined {count} finding(s) in {write_baseline_path}\n")
+        return 0
+    suppressed = 0
+    if baseline is not None:
+        findings, suppressed = apply_baseline(findings, load_baseline(baseline))
+    if fmt != "text":
+        # Machine formats emit the bare document — no summary chatter.
+        render(fmt, findings, out, rules=rules)
+        return 1 if findings else 0
+    render(fmt, findings, out, rules=rules)
     names: List[str] = sorted({found.rule for found in findings})
+    if suppressed:
+        out.write(f"{suppressed} baselined finding(s) suppressed\n")
     if findings:
         out.write(f"{len(findings)} finding(s) [{', '.join(names)}]\n")
         return 1

@@ -1,0 +1,219 @@
+"""Output formats and the findings baseline for ``repro lint``.
+
+``text`` is the human-facing default, ``json`` a stable machine shape,
+``sarif`` the minimal SARIF 2.1.0 document GitHub code scanning ingests
+(runs → tool.driver.rules + results with ruleId/message/locations).
+
+The baseline file grandfathers existing findings so CI only fails on
+*new* ones: it stores a multiset of ``(path, rule, message)`` triples —
+deliberately no line numbers, so unrelated edits that shift a
+grandfathered finding up or down do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, Dict, List, Optional, Sequence, Tuple
+
+from repro.flow.errors import InputValidationError
+from repro.lintcheck.core import Finding, LintRule
+
+#: default path of the committed baseline file
+BASELINE_FILE = ".repro-lint-baseline.json"
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+
+
+def render_text(findings: Sequence[Finding], out: IO[str]) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+
+
+def render_json(findings: Sequence[Finding], out: IO[str]) -> None:
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    out: IO[str],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> None:
+    rule_ids = sorted(
+        {finding.rule for finding in findings}
+        | {rule.id for rule in (rules or [])}
+    )
+    titles = {rule.id: rule.title for rule in (rules or [])}
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": titles.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": _posix(finding.path),
+                                    },
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+FORMATS = ("text", "json", "sarif")
+
+
+def render(
+    fmt: str,
+    findings: Sequence[Finding],
+    out: IO[str],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> None:
+    if fmt == "text":
+        render_text(findings, out)
+    elif fmt == "json":
+        render_json(findings, out)
+    elif fmt == "sarif":
+        render_sarif(findings, out, rules=rules)
+    else:
+        raise InputValidationError(
+            "format", f"unknown format {fmt!r}; known: {list(FORMATS)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+_BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(finding: Finding) -> _BaselineKey:
+    return (_posix(finding.path), finding.rule, finding.message)
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Record the given findings as grandfathered; returns the count."""
+    entries = [
+        {"path": _posix(finding.path), "rule": finding.rule,
+         "message": finding.message}
+        for finding in sorted(findings)
+    ]
+    payload = {
+        "comment": (
+            "grandfathered repro-lint findings; regenerate with "
+            "`repro lint --write-baseline` after deliberate cleanups"
+        ),
+        "version": 1,
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Counter:
+    """Multiset of grandfathered (path, rule, message) triples."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise InputValidationError(
+            "baseline", f"cannot read baseline {path!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise InputValidationError(
+            "baseline", f"baseline {path!r} is not valid JSON: {exc}"
+        ) from exc
+    entries = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise InputValidationError(
+            "baseline", f"baseline {path!r} has no 'findings' list"
+        )
+    keys: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        path_value = entry.get("path")
+        rule_value = entry.get("rule")
+        message_value = entry.get("message")
+        if (
+            isinstance(path_value, str)
+            and isinstance(rule_value, str)
+            and isinstance(message_value, str)
+        ):
+            keys[(path_value, rule_value, message_value)] += 1
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Drop findings the baseline grandfathers (multiset semantics: a
+    baseline entry absorbs at most as many findings as it was recorded
+    with).  Returns (kept findings, suppressed count)."""
+    budget: Dict[_BaselineKey, int] = dict(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        key = _baseline_key(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

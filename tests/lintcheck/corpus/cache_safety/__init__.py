@@ -1,0 +1,1 @@
+"""Corpus package for the dataflow cache-safety rules (never imported)."""

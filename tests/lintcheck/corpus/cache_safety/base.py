@@ -1,0 +1,20 @@
+"""Mini stage framework mirroring repro.flow.stages.FlowStage.
+
+The cache-safety rules key on the ``FlowStage`` base by simple name, so
+this self-contained copy lets the corpus exercise them without importing
+the real flow package.
+"""
+
+
+class FlowStage:
+    name = "base"
+    version = 0
+
+    def requires(self, config):
+        return ()
+
+    def config_slice(self, flow, config):
+        return None
+
+    def run(self, flow, config, artifacts, counters, context):
+        raise NotImplementedError

@@ -1,0 +1,56 @@
+"""Corpus: stages whose run() reads inputs missing from the Merkle key.
+
+``HiddenReadStage`` launders a flow read and a config read through two
+helper functions and pulls an artifact nothing produces;
+``SkipsParentStage`` reads an artifact whose producer it never declared.
+``CleanStage`` declares everything it touches and must NOT fire.
+"""
+
+from .base import FlowStage
+
+
+def _pick_knob(flow):
+    return flow.hidden_knob  # undeclared flow read, two calls deep
+
+
+def _scale(flow, config):
+    return _pick_knob(flow) * config.secret  # undeclared config read
+
+
+class HiddenReadStage(FlowStage):
+    name = "hidden_read"
+    version = 1
+
+    def config_slice(self, flow, config):
+        return None  # exposes nothing, yet run() reads config.secret
+
+    def run(self, flow, config, artifacts, counters, context):
+        ghost = artifacts["ghost"]  # finding: no stage produces "ghost"
+        return {"hidden": _scale(flow, config) + ghost}
+
+
+class SkipsParentStage(FlowStage):
+    name = "skips_parent"
+    version = 1
+
+    def config_slice(self, flow, config):
+        return ()
+
+    def run(self, flow, config, artifacts, counters, context):
+        # finding: produced by "hidden_read", which requires() omits
+        return {"skipped": artifacts["hidden"] + 1}
+
+
+class CleanStage(FlowStage):
+    name = "clean"
+    version = 2
+
+    def requires(self, config):
+        return ("hidden_read",)
+
+    def config_slice(self, flow, config):
+        return (config.gain,)
+
+    def run(self, flow, config, artifacts, counters, context):
+        # ok: parent declared, config exposed, flow read fingerprint-covered
+        return {"scaled": artifacts["hidden"] * config.gain + flow.netlist}

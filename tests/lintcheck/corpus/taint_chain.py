@@ -1,0 +1,32 @@
+"""Corpus: entropy laundered through two helpers into stable_hash.
+
+``laundered_key`` must fire ``entropy-taint`` with the full
+source→sink path; the seeded and sorted variants must stay clean.
+"""
+
+import random
+import time
+
+from repro.flow.context import stable_hash
+
+
+def _now() -> float:
+    return time.time()  # the entropy source, two calls from the sink
+
+
+def _label(prefix: str) -> str:
+    return f"{prefix}-{_now()}"
+
+
+def laundered_key(config: object) -> str:
+    # finding: time.time() -> _now -> _label -> stable_hash() argument
+    return stable_hash((config, _label("run")))
+
+
+def seeded_key(config: object) -> str:
+    rng = random.Random(1234)
+    return stable_hash((config, rng.random()))  # ok: seeded RNG
+
+
+def sorted_key(config: object, gates: set) -> str:
+    return stable_hash((config, tuple(sorted(gates))))  # ok: sorted

@@ -1,0 +1,94 @@
+"""The call-graph substrate: module naming, import resolution, class
+tables, and static call/property resolution over the real flow package."""
+
+import ast
+import os
+
+import pytest
+
+from repro.lintcheck.callgraph import (
+    Project,
+    annotation_simple_name,
+    module_name_for,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+STAGES_PY = os.path.join(REPO_ROOT, "src", "repro", "flow", "stages.py")
+
+
+@pytest.fixture(scope="module")
+def project():
+    return Project.from_files([STAGES_PY])
+
+
+def _annotation(expr_text):
+    return annotation_simple_name(ast.parse(expr_text, mode="eval").body)
+
+
+class TestNaming:
+    def test_module_name_walks_packages(self):
+        _, name = module_name_for(STAGES_PY)
+        assert name == "repro.flow.stages"
+
+    def test_loose_script_is_its_own_module(self, tmp_path):
+        script = tmp_path / "script.py"
+        script.write_text("x = 1\n")
+        _, name = module_name_for(str(script))
+        assert name == "script"
+
+    @pytest.mark.parametrize("text,expected", [
+        ("FlowConfig", "FlowConfig"),
+        ("'PostOpcTimingFlow'", "PostOpcTimingFlow"),
+        ("Optional['FlowConfig']", "FlowConfig"),
+        ("Dict[str, Any]", "Dict"),
+        ("42", None),
+    ])
+    def test_annotation_simple_name(self, text, expected):
+        assert _annotation(text) == expected
+
+
+class TestProject:
+    def test_selected_file_pulls_in_package_context(self, project):
+        assert project.is_selected(STAGES_PY)
+        assert "repro.flow.postopc" in project.modules
+        assert not project.is_selected(project.modules["repro.flow.postopc"].path)
+
+    def test_all_shipped_stages_discovered(self, project):
+        names = {cls.name for cls in project.iter_subclasses("FlowStage")}
+        assert {"PlaceStage", "DrawnStaStage", "TagCriticalStage", "OpcStage",
+                "MetrologyStage", "BackAnnotateStage", "PostStaStage",
+                "HoldStage", "PowerStage"} <= names
+
+    def test_resolve_method_walks_bases(self, project):
+        hold = project.resolve_class("HoldStage")
+        install = project.resolve_method(hold, "install")
+        assert install is not None
+        assert install.class_qualname.endswith(".FlowStage")
+
+    def test_resolve_call_on_annotated_receiver(self, project):
+        run = project.functions["repro.flow.stages.TagCriticalStage.run"]
+        call = next(
+            node for node in ast.walk(run.node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "tag_critical_gates"
+        )
+        callee = project.resolve_call(run, call.func)
+        assert callee is not None
+        assert callee.qualname.endswith("PostOpcTimingFlow.tag_critical_gates")
+
+    def test_resolve_property_finds_getter(self, project):
+        run = project.functions["repro.flow.stages.MetrologyStage.run"]
+        getter = project.resolve_property(run, "flow", "gate_rects")
+        assert getter is not None
+        assert getter.is_property
+
+    def test_dynamic_call_resolves_to_none(self, project):
+        run = project.functions["repro.flow.stages.MetrologyStage.run"]
+        dynamic = ast.parse("callbacks[0](x)", mode="eval").body
+        assert project.resolve_call(run, dynamic.func) is None
+
+    def test_referenced_module_constants_track_edits(self, project):
+        run = project.functions["repro.flow.stages.DrawnStaStage.run"]
+        constants = project.referenced_module_constants(run)
+        assert any(name == "CANONICAL_PERIOD_PS" for _, name, _ in constants)

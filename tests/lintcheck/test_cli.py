@@ -37,7 +37,9 @@ class TestExitCodes:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("unseeded-rng", "hash-entropy", "unordered-iteration",
-                        "stage-contract", "broad-except", "mutable-default"):
+                        "stage-contract", "broad-except", "mutable-default",
+                        "cache-undeclared-input", "stale-version",
+                        "entropy-taint"):
             assert rule_id in out
 
     def test_select_restricts_rules(self, tmp_path):
@@ -61,11 +63,14 @@ class TestCorpus:
     corpus, and the fully-waived file contributes nothing."""
 
     def test_every_rule_fires_in_corpus(self):
+        # stale-version is absent by design: it needs a fingerprint file
+        # recorded for the corpus stages, exercised in test_cachesafety.
         findings = check_paths([CORPUS])
         fired = {finding.rule for finding in findings}
         assert fired == {
             "unseeded-rng", "hash-entropy", "unordered-iteration",
             "stage-contract", "broad-except", "mutable-default",
+            "cache-undeclared-input", "entropy-taint",
         }
 
     def test_waived_file_is_clean(self):
@@ -99,3 +104,67 @@ def test_shipped_stage_graph_satisfies_contract(design_flag):
     """All nine shipped stages declare name + version (satellite fix)."""
     stages_py = os.path.join(SRC, "repro", "flow", "stages.py")
     assert main(["lint", stages_py] + design_flag) == 0
+
+
+class TestDataflowAcceptance:
+    """The PR's acceptance gates, straight from the issue."""
+
+    def test_shipped_flow_has_no_undeclared_inputs(self):
+        flow_dir = os.path.join(SRC, "repro", "flow")
+        assert main(["lint", "--select", "cache-undeclared-input", flow_dir]) == 0
+
+    def test_hidden_read_corpus_stage_exits_1_naming_attr_and_class(self, capsys):
+        package = os.path.join(CORPUS, "cache_safety")
+        assert main(["lint", "--select", "cache-undeclared-input", package]) == 1
+        out = capsys.readouterr().out
+        assert "HiddenReadStage" in out
+        assert "hidden_knob" in out
+        assert "CleanStage" not in out
+
+    def test_laundered_entropy_chain_reported_with_path(self, capsys):
+        chain = os.path.join(CORPUS, "taint_chain.py")
+        assert main(["lint", "--select", "entropy-taint", chain]) == 1
+        out = capsys.readouterr().out
+        assert "time.time()" in out
+        assert "_now -> _label -> stable_hash() argument" in out
+        # seeded / sorted variants stay clean: exactly one finding
+        assert out.count("entropy-taint") == 2  # finding line + summary
+
+    def test_jobs_output_matches_serial(self, capsys):
+        assert main(["lint", CORPUS]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", CORPUS, "--jobs", "4"]) == 1
+        assert capsys.readouterr().out == serial
+
+
+class TestBaselineFlags:
+    def test_write_then_apply_baseline_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", CORPUS, "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", CORPUS, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+        assert "clean" in out
+
+    def test_new_finding_not_in_baseline_still_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        tracked = tmp_path / "tracked.py"
+        tracked.write_text("def f(items=[]):\n    return items\n")
+        assert main(["lint", str(tracked), "--write-baseline", str(baseline)]) == 0
+        tracked.write_text(
+            "import random\n"
+            "x = random.random()\n"
+            "def f(items=[]):\n"
+            "    return items\n"
+        )
+        capsys.readouterr()
+        assert main(["lint", str(tracked), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out
+        assert "mutable-default" not in out  # grandfathered
+
+    def test_corrupt_baseline_exit_3(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert main(["lint", CORPUS, "--baseline", str(baseline)]) == 3

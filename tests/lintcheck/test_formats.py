@@ -1,0 +1,132 @@
+"""Output formats (text/json/sarif) and the findings baseline."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.lintcheck.core import Finding
+from repro.lintcheck.formats import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
+from repro.flow.errors import InputValidationError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CORPUS = os.path.join(REPO_ROOT, "tests", "lintcheck", "corpus")
+
+FINDINGS = [
+    Finding("src/a.py", 3, 4, "unseeded-rng", "module-level RNG"),
+    Finding("src\\b.py", 10, 0, "entropy-taint", "time.time() -> stable_hash()"),
+]
+
+
+def assert_sarif_shape(document):
+    """The minimal SARIF 2.1.0 shape code scanning requires."""
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-2.1.0.json")
+    assert isinstance(document["runs"], list) and document["runs"]
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] == "error"
+        assert isinstance(result["message"]["text"], str) and result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+class TestSarif:
+    def test_handwritten_findings_pass_shape(self):
+        out = io.StringIO()
+        render_sarif(FINDINGS, out)
+        document = json.loads(out.getvalue())
+        assert_sarif_shape(document)
+        assert len(document["runs"][0]["results"]) == 2
+
+    def test_cli_sarif_over_corpus_passes_shape(self, capsys):
+        assert main(["lint", CORPUS, "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert_sarif_shape(document)
+        fired = {r["ruleId"] for r in document["runs"][0]["results"]}
+        assert "cache-undeclared-input" in fired
+        assert "entropy-taint" in fired
+
+    def test_clean_run_emits_empty_results(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert_sarif_shape(document)
+        assert document["runs"][0]["results"] == []
+        # rule metadata is still advertised for the run
+        assert document["runs"][0]["tool"]["driver"]["rules"]
+
+
+class TestJson:
+    def test_json_format_round_trips_fields(self, capsys):
+        assert main(["lint", CORPUS, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        entry = payload["findings"][0]
+        assert set(entry) == {"path", "line", "col", "rule", "message"}
+
+    def test_direct_render(self):
+        out = io.StringIO()
+        render_json(FINDINGS, out)
+        payload = json.loads(out.getvalue())
+        assert len(payload["findings"]) == 2
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        assert write_baseline(FINDINGS, path) == 2
+        kept, suppressed = apply_baseline(FINDINGS, load_baseline(path))
+        assert kept == []
+        assert suppressed == 2
+
+    def test_line_drift_does_not_resurrect(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(FINDINGS, path)
+        drifted = [
+            Finding(f.path, f.line + 40, f.col, f.rule, f.message)
+            for f in FINDINGS
+        ]
+        kept, suppressed = apply_baseline(drifted, load_baseline(path))
+        assert kept == []
+        assert suppressed == 2
+
+    def test_multiset_semantics(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        twice = [FINDINGS[0], FINDINGS[0]]
+        write_baseline(twice, path)
+        thrice = [FINDINGS[0]] * 3
+        kept, suppressed = apply_baseline(thrice, load_baseline(path))
+        assert suppressed == 2
+        assert len(kept) == 1  # the third occurrence is NEW
+
+    def test_new_rule_or_message_is_kept(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline([FINDINGS[0]], path)
+        kept, suppressed = apply_baseline(FINDINGS, load_baseline(path))
+        assert suppressed == 1
+        assert [f.rule for f in kept] == ["entropy-taint"]
+
+    def test_malformed_baseline_is_validation_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"nope\": true}")
+        with pytest.raises(InputValidationError):
+            load_baseline(str(bad))
+        missing = tmp_path / "absent.json"
+        with pytest.raises(InputValidationError):
+            load_baseline(str(missing))

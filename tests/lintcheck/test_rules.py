@@ -312,7 +312,43 @@ class TestEngine:
         assert set(ids) == {
             "broad-except", "hash-entropy", "mutable-default",
             "stage-contract", "unordered-iteration", "unseeded-rng",
+            "cache-undeclared-input", "stale-version", "entropy-taint",
         }
+
+    def test_decorator_line_waiver_covers_decorated_statement(self):
+        # The finding anchors at the `def`, but the waiver sits on the
+        # decorator line above it (satellite fix).
+        snippet = """
+            import functools
+
+            @functools.lru_cache  # repro-lint: allow[mutable-default]
+            def f(items=[]):
+                return items
+        """
+        assert lint(snippet) == []
+        assert rule_ids(lint(snippet, apply_waivers=False)) == ["mutable-default"]
+
+    def test_waiver_above_decorator_stack_covers_statement(self):
+        snippet = """
+            import functools
+
+            # repro-lint: allow[mutable-default] justified fixture
+            @functools.lru_cache
+            @functools.wraps(print)
+            def f(items=[]):
+                return items
+        """
+        assert lint(snippet) == []
+
+    def test_unwaived_decorated_def_still_fires(self):
+        snippet = """
+            import functools
+
+            @functools.lru_cache
+            def f(items=[]):
+                return items
+        """
+        assert rule_ids(lint(snippet)) == ["mutable-default"]
 
     def test_no_waivers_mode_reports_waived_finding(self):
         snippet = """
