@@ -3,6 +3,9 @@
 Commands:
 
 * ``flow``    — run the post-OPC timing flow on a built-in design
+* ``sweep``   — run all OPC modes through one shared flow context
+* ``serve``   — flow-as-a-service front-end (bounded job queue over a
+  shared cache; JSON-lines protocol on a UNIX or TCP socket)
 * ``sta``     — drawn-CD static timing report
 * ``liberty`` — emit the characterized library as Liberty text
 * ``gds``     — write a placed design (and optionally its OPC mask) to GDSII
@@ -107,9 +110,15 @@ def cmd_flow(args) -> int:
                         n_critical_paths=args.paths,
                         max_quarantine_fraction=args.max_quarantine_fraction)
     journal = _open_journal(args, flow, config, "flow")
+    scheduler = None
+    if getattr(args, "async_dag", False):
+        from repro.flow import StageScheduler
+
+        scheduler = StageScheduler(args.max_concurrent_stages)
     try:
         with InterruptGuard() as guard:
-            report = flow.run(config, journal=journal, interrupt=guard)
+            report = flow.run(config, journal=journal, interrupt=guard,
+                              scheduler=scheduler)
     except Exception as exc:
         if journal is not None:
             if not isinstance(exc, FlowInterrupted):
@@ -164,7 +173,16 @@ def cmd_sweep(args) -> int:
     journal = _open_journal(args, flow, base, "sweep")
     try:
         with InterruptGuard() as guard:
-            result = FlowSweep(flow).run(base, journal=journal, interrupt=guard)
+            sweep = FlowSweep(flow)
+            if getattr(args, "async_dag", False):
+                from repro.flow import StageScheduler
+
+                result = sweep.run_concurrent(
+                    base, scheduler=StageScheduler(args.max_concurrent_stages),
+                    journal=journal, interrupt=guard,
+                )
+            else:
+                result = sweep.run(base, journal=journal, interrupt=guard)
     except Exception as exc:
         if journal is not None:
             if not isinstance(exc, FlowInterrupted):
@@ -194,6 +212,70 @@ def cmd_sweep(args) -> int:
     # Partial failure is still a usable sweep; only a sweep with zero
     # surviving modes counts as failed.
     return 1 if (result.failures and not result.reports) else 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.flow import (
+        FlowContext,
+        FlowService,
+        InputValidationError,
+        ParallelExecutor,
+        PostOpcTimingFlow,
+    )
+
+    if not args.socket and not args.tcp:
+        raise InputValidationError(
+            "socket", "serve needs --socket PATH and/or --tcp HOST:PORT"
+        )
+    tech = make_tech_90nm()
+    library = build_library(tech)
+    max_bytes = int(args.cache_size_mb * 1e6) if args.cache_size_mb else None
+    # One shared context: every job of every design dedups against it.
+    context = FlowContext(cache_dir=args.cache_dir, max_disk_bytes=max_bytes)
+    executor = ParallelExecutor.from_jobs(
+        args.jobs, retries=args.retries, chunk_timeout=args.chunk_timeout
+    )
+    flows = {
+        name: PostOpcTimingFlow(_make_design(name, library), tech,
+                                cells=library, executor=executor,
+                                context=context)
+        for name in (args.designs or ["c17"])
+    }
+
+    async def _serve() -> int:
+        import signal
+
+        service = FlowService(
+            flows, max_queue=args.queue, workers=args.workers,
+            run_root=args.run_root,
+            max_concurrent_stages=args.max_concurrent_stages,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-UNIX loop: ctrl-C lands as KeyboardInterrupt
+        async with service:
+            if args.socket:
+                await service.serve_unix(args.socket)
+                print(f"serving on unix://{args.socket}")
+            if args.tcp:
+                host, _, port = args.tcp.rpartition(":")
+                host = host or "127.0.0.1"
+                await service.serve_tcp(host, int(port))
+                print(f"serving on tcp://{host}:{port}")
+            print(f"designs: {', '.join(sorted(flows))}; "
+                  f"queue {args.queue}, workers {args.workers} "
+                  "(SIGINT/SIGTERM stops after running jobs settle)")
+            await stop.wait()
+            print("stopping: draining running jobs...")
+        return 0
+
+    return asyncio.run(_serve())
 
 
 def cmd_sta(args) -> int:
@@ -289,6 +371,17 @@ def cmd_lint(args) -> int:
     )
 
 
+def _add_scheduler_args(sub) -> None:
+    """Async DAG scheduler knobs shared by flow/sweep."""
+    sub.add_argument("--async", dest="async_dag", action="store_true",
+                     help="run the stage graph through the async DAG "
+                          "scheduler: every dependency-ready stage runs "
+                          "concurrently, bit-identical to the serial path")
+    sub.add_argument("--max-concurrent-stages", type=int, default=None,
+                     help="cap stages in flight per run "
+                          "(default: graph width)")
+
+
 def _add_durability_args(sub) -> None:
     """Persistent-cache, journal and fault-tolerance knobs shared by
     flow/sweep.  Exit codes: 0 ok, 2 interrupted (SIGINT/SIGTERM), 3
@@ -329,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--paths", type=int, default=5)
     flow.add_argument("--jobs", type=int, default=1,
                       help="parallel workers for the OPC/metrology tile loops")
+    _add_scheduler_args(flow)
     _add_durability_args(flow)
     flow.add_argument("--trace", default=None,
                       help="write the per-stage trace (wall time, cache, counters) as JSON")
@@ -343,10 +437,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clock period (ps); default derives it from the drawn STA")
     sweep.add_argument("--paths", type=int, default=5)
     sweep.add_argument("--jobs", type=int, default=1)
+    _add_scheduler_args(sweep)
     _add_durability_args(sweep)
     sweep.add_argument("--trace", default=None,
                        help="write per-mode traces + context stats as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve flows over a bounded job queue (JSON-lines socket API)",
+    )
+    serve.add_argument("--designs", nargs="+", default=None,
+                       choices=sorted(DESIGNS), metavar="DESIGN",
+                       help="designs to pre-build and serve (default: c17)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="listen on a UNIX socket at this path")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="listen on a local TCP socket")
+    serve.add_argument("--queue", type=int, default=16,
+                       help="bounded job queue size; a full queue rejects "
+                            "submits with reason queue-full (default 16)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="jobs running concurrently (default 2)")
+    serve.add_argument("--run-root", default=None, metavar="DIR",
+                       help="give every job a journaled run directory "
+                            "DIR/<job-id>/")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="parallel workers for each job's tile loops")
+    serve.add_argument("--max-concurrent-stages", type=int, default=None,
+                       help="cap concurrently-running stages per job")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist the shared artifact cache here")
+    serve.add_argument("--cache-size-mb", type=float, default=None,
+                       help="cap the cache directory, evicting LRU entries")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="retry a failed worker chunk this many times")
+    serve.add_argument("--chunk-timeout", type=float, default=None,
+                       help="seconds before a worker chunk counts as failed")
+    serve.set_defaults(func=cmd_serve)
 
     sta = sub.add_parser("sta", help="drawn-CD timing report")
     sta.add_argument("--design", default="c17", choices=sorted(DESIGNS))

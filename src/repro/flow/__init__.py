@@ -9,9 +9,16 @@ in :mod:`repro.flow.journal`, with the structured failure taxonomy in
 :mod:`repro.flow.errors`.  :class:`PostOpcTimingFlow` assembles the
 default graph; :class:`FlowSweep` runs many OPC modes against one shared
 context.
+
+Concurrency rides the same graph: :class:`StageScheduler`
+(:mod:`repro.flow.scheduler`) executes every dependency-ready stage at
+once with single-flight dedup through the shared context, and
+:class:`FlowService` (:mod:`repro.flow.service`) fronts it with a
+bounded-queue submit/status/result/report job API, in-process or over a
+local socket.
 """
 
-from repro.flow.context import FlowContext, stable_hash
+from repro.flow.context import FlowContext, SettleOutcome, stable_hash
 from repro.flow.errors import (
     EXIT_FAILURE,
     EXIT_INTERRUPTED,
@@ -20,17 +27,23 @@ from repro.flow.errors import (
     EXIT_VALIDATION,
     FlowError,
     FlowInterrupted,
+    GraphValidationError,
     InputValidationError,
     QuarantineExceededError,
+    ServiceRejectedError,
     StageError,
 )
 from repro.flow.journal import InterruptGuard, RunJournal
 from repro.flow.parallel import FaultInjection, ParallelExecutor, split_chunks
 from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
+from repro.flow.scheduler import StageScheduler
+from repro.flow.service import FlowService
 from repro.flow.stages import (
     FlowStage,
     StageGraph,
     default_stage_graph,
+    settle_stage,
+    stage_key,
 )
 from repro.flow.sweep import FlowSweep, SweepResult
 from repro.flow.trace import FlowTrace, StageRecord
@@ -41,11 +54,16 @@ __all__ = [
     "FlowReport",
     "PostOpcTimingFlow",
     "FlowContext",
+    "SettleOutcome",
     "FlowTrace",
     "StageRecord",
     "FlowStage",
     "StageGraph",
+    "StageScheduler",
+    "FlowService",
     "default_stage_graph",
+    "stage_key",
+    "settle_stage",
     "ParallelExecutor",
     "FaultInjection",
     "split_chunks",
@@ -54,7 +72,9 @@ __all__ = [
     "stable_hash",
     "export_flow_gds",
     "FlowError",
+    "GraphValidationError",
     "InputValidationError",
+    "ServiceRejectedError",
     "StageError",
     "QuarantineExceededError",
     "FlowInterrupted",

@@ -16,6 +16,16 @@ those artifacts as *disk hits*; loads verify the sidecar hash and treat
 corrupt or unreadable entries as misses — the damaged files are deleted
 and the stage recomputes, the flow never crashes on a bad cache.  An
 optional byte cap evicts the least-recently-used entries.
+
+The context is **safe under concurrent access**: the async stage
+scheduler (:mod:`repro.flow.scheduler`) and the flow service settle many
+stages against one shared context at once.  One mutex guards the memory
+tier and every counter, a second serializes disk mutation against disk
+reads (so an eviction can never tear an entry out from under a promote),
+and :meth:`settle` gives each artifact key **single-flight** semantics:
+concurrent requests for the same key block on a per-key lock and all but
+the first are served the first's result — counted on :attr:`deduped`
+instead of recomputed.
 """
 
 from __future__ import annotations
@@ -24,8 +34,20 @@ import hashlib
 import os
 import pickle
 import re
-from dataclasses import fields, is_dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, is_dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 #: sentinel distinguishing "no entry" from a stored None
 MISSING = object()
@@ -91,12 +113,30 @@ def stable_hash(obj: Any) -> str:
     return digest.hexdigest()[:20]
 
 
+@dataclass(frozen=True)
+class SettleOutcome:
+    """How one :meth:`FlowContext.settle` request was satisfied.
+
+    ``deduped`` is True when this request blocked on another request's
+    in-flight computation of the same key and was then served its result
+    — the single-flight path that turns N concurrent identical requests
+    into one computation.
+    """
+
+    value: Any
+    cache_hit: bool
+    source: Optional[str]
+    deduped: bool
+
+
 class FlowContext:
     """Keyed artifact store with per-stage hit/miss accounting.
 
     One context can back many runs (and many :class:`PostOpcTimingFlow`
     objects — keys embed the flow's netlist/technology fingerprint, so
-    different designs never collide).
+    different designs never collide), including *concurrent* runs: all
+    tiers and counters are lock-protected, and :meth:`settle` provides
+    single-flight per-key computation.
 
     ``cache_dir`` enables the persistent on-disk tier (one pickle + one
     hash sidecar per artifact); ``max_disk_bytes`` caps its total size
@@ -119,102 +159,134 @@ class FlowContext:
         self.cache_dir = cache_dir
         self.max_disk_bytes = max_disk_bytes
         #: where the most recent successful lookup was served from
-        #: ("memory" | "disk" | None)
+        #: ("memory" | "disk" | None) — kept for single-threaded callers;
+        #: concurrent callers must use :meth:`fetch`, which returns the
+        #: source alongside the value instead of racing on this attribute.
         self.last_hit_source: Optional[str] = None
+        #: memory-tier accounting (every fetch consults memory first)
+        self.mem_lookups = 0
+        self.mem_hits = 0
+        self.mem_misses = 0
+        #: disk-tier accounting
+        self.disk_lookups = 0
         self.disk_hits = 0
         self.disk_misses = 0
         self.disk_writes = 0
         self.disk_evictions = 0
         self.disk_corruptions = 0
         self.disk_write_errors = 0
+        #: single-flight accounting: requests served by another request's
+        #: in-flight computation instead of recomputing
+        self.deduped = 0
+        #: guards the memory tier, every counter, and the key-lock table
+        self._lock = threading.RLock()
+        #: serializes disk mutation (store/evict/drop) against disk loads,
+        #: so eviction can never tear an entry out from under a reader
+        self._disk_lock = threading.RLock()
+        #: per-key single-flight locks with reference counts
+        self._key_locks: Dict[str, Tuple[threading.Lock, List[int]]] = {}
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
     def __len__(self) -> int:
-        return len(self._artifacts)
+        with self._lock:
+            return len(self._artifacts)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._artifacts or (
-            self.cache_dir is not None and os.path.exists(self._data_path(key))
-        )
+        with self._lock:
+            if key in self._artifacts:
+                return True
+        return self.cache_dir is not None and os.path.exists(self._data_path(key))
 
     # -- persistent tier -----------------------------------------------------
 
     def _data_path(self, key: str) -> str:
+        assert self.cache_dir is not None
         return os.path.join(self.cache_dir, key + self.DATA_SUFFIX)
 
     def _hash_path(self, key: str) -> str:
+        assert self.cache_dir is not None
         return os.path.join(self.cache_dir, key + self.HASH_SUFFIX)
 
     def _drop_entry(self, key: str) -> None:
-        for path in (self._data_path(key), self._hash_path(key)):
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        with self._disk_lock:
+            for path in (self._data_path(key), self._hash_path(key)):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
 
     def _disk_load(self, key: str) -> Any:
-        """Load + verify one entry; :data:`MISSING` on absence/corruption."""
-        data_path = self._data_path(key)
-        try:
-            with open(data_path, "rb") as fh:
-                payload = fh.read()
-        except FileNotFoundError:
-            return MISSING
-        except OSError:
-            self.disk_corruptions += 1
-            self._drop_entry(key)
-            return MISSING
-        try:
-            with open(self._hash_path(key), "r") as fh:
-                expected = fh.read().strip()
-            if hashlib.sha256(payload).hexdigest() != expected:
-                raise ValueError("integrity hash mismatch")
-            value = pickle.loads(payload)
-        # repro-lint: allow[broad-except] cache-corruption tolerance: recompute, never crash
-        except Exception:
-            # Truncated pickle, missing/garbled sidecar, unpicklable class...
-            # all are recoverable: drop the entry and let the stage recompute.
-            self.disk_corruptions += 1
-            self._drop_entry(key)
-            return MISSING
-        try:
-            os.utime(data_path)  # refresh the LRU clock
-        except OSError:
-            pass
-        return value
+        """Load + verify one entry; :data:`MISSING` on absence/corruption.
+
+        Holds the disk lock for the whole read-verify sequence, so a
+        concurrent eviction or re-write can never produce a torn
+        payload/sidecar pair (which would count as a spurious corruption).
+        """
+        with self._disk_lock:
+            data_path = self._data_path(key)
+            try:
+                with open(data_path, "rb") as fh:
+                    payload = fh.read()
+            except FileNotFoundError:
+                return MISSING
+            except OSError:
+                self._count("disk_corruptions")
+                self._drop_entry(key)
+                return MISSING
+            try:
+                with open(self._hash_path(key), "r") as fh:
+                    expected = fh.read().strip()
+                if hashlib.sha256(payload).hexdigest() != expected:
+                    raise ValueError("integrity hash mismatch")
+                value = pickle.loads(payload)
+            # repro-lint: allow[broad-except] cache-corruption tolerance: recompute, never crash
+            except Exception:
+                # Truncated pickle, missing/garbled sidecar, unpicklable
+                # class... all are recoverable: drop the entry and let the
+                # stage recompute.
+                self._count("disk_corruptions")
+                self._drop_entry(key)
+                return MISSING
+            try:
+                os.utime(data_path)  # refresh the LRU clock
+            except OSError:
+                pass
+            return value
 
     def _disk_store(self, key: str, value: Any) -> None:
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         # repro-lint: allow[broad-except] unpicklable artifact degrades to memory-only, never crashes
         except Exception:
-            self.disk_write_errors += 1
+            self._count("disk_write_errors")
             return
         digest = hashlib.sha256(payload).hexdigest()
-        data_path = self._data_path(key)
-        hash_path = self._hash_path(key)
-        try:
-            # Write via temp files + rename so a concurrent reader never
-            # sees a half-written payload (it would be caught by the hash
-            # check anyway, but would count as a spurious corruption).
-            tmp = data_path + ".tmp"
-            with open(tmp, "wb") as fh:
-                fh.write(payload)
-            os.replace(tmp, data_path)
-            tmp = hash_path + ".tmp"
-            with open(tmp, "w") as fh:
-                fh.write(digest + "\n")
-            os.replace(tmp, hash_path)
-        except OSError:
-            self.disk_write_errors += 1
-            self._drop_entry(key)
-            return
-        self.disk_writes += 1
-        self._enforce_size_cap()
+        with self._disk_lock:
+            data_path = self._data_path(key)
+            hash_path = self._hash_path(key)
+            try:
+                # Write via temp files + rename so a concurrent reader never
+                # sees a half-written payload (it would be caught by the hash
+                # check anyway, but would count as a spurious corruption).
+                tmp = data_path + ".tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, data_path)
+                tmp = hash_path + ".tmp"
+                with open(tmp, "w") as fh:
+                    fh.write(digest + "\n")
+                os.replace(tmp, hash_path)
+            except OSError:
+                self._count("disk_write_errors")
+                self._drop_entry(key)
+                return
+            self._count("disk_writes")
+            self._enforce_size_cap()
 
     def _disk_entries(self) -> List[Tuple[float, int, str]]:
         """(mtime, total bytes, key) per persisted entry, oldest first."""
+        assert self.cache_dir is not None
         entries: List[Tuple[float, int, str]] = []
         for name in os.listdir(self.cache_dir):
             if not name.endswith(self.DATA_SUFFIX):
@@ -236,17 +308,19 @@ class FlowContext:
     def _enforce_size_cap(self) -> None:
         if self.max_disk_bytes is None:
             return
-        entries = self._disk_entries()
-        total = sum(size for _, size, _ in entries)
-        # Evict least-recently-used first; the newest entry always survives
-        # (evicting what was just written would make the cache a no-op).
-        index = 0
-        while total > self.max_disk_bytes and index < len(entries) - 1:
-            _, size, key = entries[index]
-            self._drop_entry(key)
-            self.disk_evictions += 1
-            total -= size
-            index += 1
+        with self._disk_lock:
+            entries = self._disk_entries()
+            total = sum(size for _, size, _ in entries)
+            # Evict least-recently-used first; the newest entry always
+            # survives (evicting what was just written would make the
+            # cache a no-op).
+            index = 0
+            while total > self.max_disk_bytes and index < len(entries) - 1:
+                _, size, key = entries[index]
+                self._drop_entry(key)
+                self._count("disk_evictions")
+                total -= size
+                index += 1
 
     def flush(self) -> None:
         """Make the persistent tier durable before the process exits.
@@ -272,83 +346,217 @@ class FlowContext:
         """(entry count, total bytes) of the persistent tier (0, 0 if off)."""
         if self.cache_dir is None:
             return (0, 0)
-        entries = self._disk_entries()
+        with self._disk_lock:
+            entries = self._disk_entries()
         return (len(entries), sum(size for _, size, _ in entries))
 
     # -- lookup / store ------------------------------------------------------
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Locked increment of one integer counter attribute."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def fetch(self, key: str) -> Tuple[Any, Optional[str]]:
+        """(artifact, source tier) — (:data:`MISSING`, None) on a miss.
+
+        The concurrency-safe primitive behind :meth:`lookup`: the tier
+        the value came from is returned instead of being parked on the
+        shared :attr:`last_hit_source` attribute.  Disk hits are promoted
+        into memory atomically — a racing :meth:`store` of the same key
+        wins and the promote keeps its value.
+        """
+        with self._lock:
+            self.mem_lookups += 1
+            if key in self._artifacts:
+                self.mem_hits += 1
+                self.last_hit_source = "memory"
+                return self._artifacts[key], "memory"
+            self.mem_misses += 1
+        if self.cache_dir is not None:
+            self._count("disk_lookups")
+            value = self._disk_load(key)
+            if value is not MISSING:
+                with self._lock:
+                    self.disk_hits += 1
+                    # Atomic promote: never clobber a concurrent store.
+                    value = self._artifacts.setdefault(key, value)
+                    self.last_hit_source = "disk"
+                return value, "disk"
+            self._count("disk_misses")
+        with self._lock:
+            self.last_hit_source = None
+        return MISSING, None
 
     def lookup(self, key: str) -> Any:
         """The stored artifact, or :data:`MISSING`.
 
         Checks the in-memory tier first, then (when ``cache_dir`` is set)
         the on-disk tier; disk hits are promoted into memory.
-        :attr:`last_hit_source` records where the value came from.
+        :attr:`last_hit_source` records where the value came from — under
+        concurrency prefer :meth:`fetch`, which returns the source.
         """
-        value = self._artifacts.get(key, MISSING)
-        if value is not MISSING:
-            self.last_hit_source = "memory"
-            return value
-        if self.cache_dir is not None:
-            value = self._disk_load(key)
-            if value is not MISSING:
-                self.disk_hits += 1
-                self._artifacts[key] = value
-                self.last_hit_source = "disk"
-                return value
-            self.disk_misses += 1
-        self.last_hit_source = None
-        return MISSING
+        value, _ = self.fetch(key)
+        return value
 
     def store(self, key: str, value: Any) -> None:
-        self._artifacts[key] = value
+        with self._lock:
+            self._artifacts[key] = value
         if self.cache_dir is not None:
             self._disk_store(key, value)
 
     def count_hit(self, stage: str) -> None:
-        self.hits[stage] = self.hits.get(stage, 0) + 1
+        with self._lock:
+            self.hits[stage] = self.hits.get(stage, 0) + 1
 
     def count_miss(self, stage: str) -> None:
-        self.misses[stage] = self.misses.get(stage, 0) + 1
+        with self._lock:
+            self.misses[stage] = self.misses.get(stage, 0) + 1
+
+    # -- single-flight -------------------------------------------------------
+
+    def _acquire_key_ref(self, key: str) -> threading.Lock:
+        with self._lock:
+            entry = self._key_locks.get(key)
+            if entry is None:
+                entry = (threading.Lock(), [0])
+                self._key_locks[key] = entry
+            entry[1][0] += 1
+            return entry[0]
+
+    def _release_key_ref(self, key: str) -> None:
+        with self._lock:
+            entry = self._key_locks[key]
+            entry[1][0] -= 1
+            if entry[1][0] == 0:
+                del self._key_locks[key]
+
+    @contextmanager
+    def single_flight(self, key: str) -> Iterator[bool]:
+        """Hold ``key``'s per-key lock; yields True when the lock was
+        contended (another request was in flight for the same key when
+        this one arrived — the caller is about to be served its result).
+        """
+        lock = self._acquire_key_ref(key)
+        contended = not lock.acquire(blocking=False)
+        if contended:
+            lock.acquire()
+        try:
+            yield contended
+        finally:
+            lock.release()
+            self._release_key_ref(key)
+
+    def settle(self, stage: str, key: str, compute: Callable[[], Any]) -> SettleOutcome:
+        """Serve ``key`` from cache or compute-and-store it, exactly once.
+
+        Concurrent ``settle`` calls for the same key form a single-flight
+        group: one computes, the rest block on the per-key lock and are
+        then served the cached result (``deduped=True``, counted on
+        :attr:`deduped`).  Hit/miss accounting lands on ``stage`` exactly
+        as the serial path records it.  If ``compute`` raises, nothing is
+        stored and the next waiter gets its own chance to compute.
+        """
+        with self.single_flight(key) as contended:
+            value, source = self.fetch(key)
+            if value is not MISSING:
+                self.count_hit(stage)
+                if contended:
+                    self._count("deduped")
+                return SettleOutcome(value, True, source, contended)
+            self.count_miss(stage)
+            value = compute()
+            self.store(key, value)
+            return SettleOutcome(value, False, None, False)
 
     def memo(self, stage: str, key: str, compute: Callable[[], Any]) -> Any:
         """Compute-once helper for intra-stage shared work (e.g. the
-        rule-OPC base mask shared by the rule/model/selective modes)."""
-        value = self.lookup(key)
-        if value is not MISSING:
-            self.count_hit(stage)
-            return value
-        self.count_miss(stage)
-        value = compute()
-        self.store(key, value)
-        return value
+        rule-OPC base mask shared by the rule/model/selective modes).
+        Single-flight under concurrency: the rule base is computed once
+        even when the rule, model and selective OPC stages run at the
+        same time."""
+        return self.settle(stage, key, compute).value
+
+    # -- accounting ----------------------------------------------------------
+
+    def consistency(self) -> List[str]:
+        """Violated counter invariants (empty when the books balance).
+
+        Meaningful at quiescence (no settle in flight): every lookup is
+        either a memory hit or a memory miss, every memory miss consults
+        the disk tier when one is configured, and every disk consult is
+        either a hit or a miss.  A non-empty result means an unlocked
+        increment raced — the accounting can no longer prove dedup/hit
+        claims.
+        """
+        problems: List[str] = []
+        with self._lock:
+            if self.mem_lookups != self.mem_hits + self.mem_misses:
+                problems.append(
+                    f"memory tier: {self.mem_lookups} lookups != "
+                    f"{self.mem_hits} hits + {self.mem_misses} misses"
+                )
+            if self.disk_lookups != self.disk_hits + self.disk_misses:
+                problems.append(
+                    f"disk tier: {self.disk_lookups} lookups != "
+                    f"{self.disk_hits} hits + {self.disk_misses} misses"
+                )
+            if self.cache_dir is not None and self.disk_lookups != self.mem_misses:
+                problems.append(
+                    f"tier chain: {self.mem_misses} memory misses != "
+                    f"{self.disk_lookups} disk lookups"
+                )
+        return problems
 
     def stats(self) -> Dict[str, object]:
-        stages: Set[str] = set(self.hits) | set(self.misses)
-        entries, total_bytes = self.disk_usage()
-        return {
-            "entries": len(self._artifacts),
-            "stages": {
-                name: {"hits": self.hits.get(name, 0), "misses": self.misses.get(name, 0)}
+        with self._lock:
+            stages: Set[str] = set(self.hits) | set(self.misses)
+            stage_stats = {
+                name: {
+                    "hits": self.hits.get(name, 0),
+                    "misses": self.misses.get(name, 0),
+                }
                 for name in sorted(stages)
-            },
-            "disk": {
+            }
+            memory = {
+                "lookups": self.mem_lookups,
+                "hits": self.mem_hits,
+                "misses": self.mem_misses,
+                "entries": len(self._artifacts),
+            }
+            disk = {
                 "enabled": self.cache_dir is not None,
+                "lookups": self.disk_lookups,
                 "hits": self.disk_hits,
                 "misses": self.disk_misses,
                 "writes": self.disk_writes,
                 "evictions": self.disk_evictions,
                 "corruptions": self.disk_corruptions,
                 "write_errors": self.disk_write_errors,
-                "entries": entries,
-                "bytes": total_bytes,
-            },
+            }
+            deduped = self.deduped
+        entries, total_bytes = self.disk_usage()
+        disk["entries"] = entries
+        disk["bytes"] = total_bytes
+        return {
+            "entries": memory["entries"],
+            "stages": stage_stats,
+            "memory": memory,
+            "disk": disk,
+            "deduped": deduped,
+            "consistent": not self.consistency(),
         }
 
     def summary(self) -> str:
         parts = []
-        for name, counts in self.stats()["stages"].items():
+        stats = self.stats()
+        stage_stats = stats["stages"]
+        assert isinstance(stage_stats, dict)
+        for name, counts in stage_stats.items():
             parts.append(f"{name} {counts['hits']}h/{counts['misses']}m")
-        text = f"{len(self._artifacts)} artifacts; " + ", ".join(parts)
+        text = f"{stats['entries']} artifacts; " + ", ".join(parts)
+        if stats["deduped"]:
+            text += f"; {stats['deduped']} deduped in flight"
         if self.cache_dir is not None:
             entries, total_bytes = self.disk_usage()
             text += (

@@ -50,6 +50,44 @@ class InputValidationError(FlowError, ValueError):
         self.field = field
 
 
+class GraphValidationError(InputValidationError):
+    """The stage graph is not a well-formed DAG.
+
+    Raised by :meth:`~repro.flow.stages.StageGraph.validate` before any
+    stage runs.  ``kind`` pins the defect class so callers and tests can
+    assert which invariant broke:
+
+    * ``"missing-producer"`` — a stage ``requires()`` a stage name that
+      no member of the graph carries;
+    * ``"duplicate-producer"`` — two stages ``provides()`` the same
+      artifact name, so the merged artifact dict would be
+      schedule-dependent;
+    * ``"cycle"`` — the ``requires()`` edges contain a dependency cycle.
+
+    Subclasses :class:`InputValidationError` (exit code 3): a malformed
+    graph is a rejected input, not a mid-run stage failure.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__("graph", f"[{kind}] {message}")
+        self.kind = kind
+
+
+class ServiceRejectedError(FlowError):
+    """The flow service refused a request before it became a job.
+
+    Backpressure (a full bounded queue), an unknown design, or a
+    malformed config all reject at submit time — the request never
+    consumes scheduler capacity.  ``reason`` is machine-readable
+    (``"queue-full"``, ``"unknown-design"``, ``"bad-config"``,
+    ``"stopped"``, ``"unknown-job"``, ``"failed-job"``).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(f"[{reason}] {message}")
+        self.reason = reason
+
+
 class StageError(FlowError):
     """A stage of the graph failed; wraps the original exception.
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import threading
 import uuid
 from types import FrameType
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
@@ -55,6 +56,9 @@ class RunJournal:
         self.run_dir = run_dir
         self.path = os.path.join(run_dir, self.FILENAME)
         self._fh: Optional[TextIO] = None
+        #: appends may come from scheduler worker threads concurrently;
+        #: the lock keeps each JSON line whole
+        self._write_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -113,9 +117,10 @@ class RunJournal:
         return os.path.join(self.run_dir, self.CACHE_SUBDIR)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._write_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -129,12 +134,13 @@ class RunJournal:
         """Append one record; flushed and fsynced so a kill -9 an instant
         later still finds it on disk."""
         record = {"type": record_type, **payload}
-        if self._fh is None:
-            os.makedirs(self.run_dir, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with self._write_lock:
+            if self._fh is None:
+                os.makedirs(self.run_dir, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
         return record
 
     def record_stage(self, record: "StageRecord", key: str,
@@ -154,6 +160,19 @@ class RunJournal:
     def record_mode(self, mode: str, status: str, detail: str = "") -> None:
         """Journal one sweep mode's outcome (``ok`` / ``failed``)."""
         self.append("mode", mode=mode, status=status, detail=detail)
+
+    def record_event(self, event: str, stage: str, key: str = "",
+                     **extra: Any) -> None:
+        """Journal one scheduler event (``ready``/``start``/``done``/
+        ``deduped``).
+
+        Pure bookkeeping for observability and post-mortems: the resume
+        path replays only ``stage`` records, and readers that predate the
+        scheduler skip the unknown type (the torn-line-tolerant contract
+        of :meth:`records`).  No timestamps on purpose — wall-clock facts
+        live in the ``stage`` records' telemetry.
+        """
+        self.append("scheduler", event=event, stage=stage, key=key, **extra)
 
     def record_interrupted(self, signal_name: str,
                            next_stage: Optional[str] = None) -> None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -135,11 +136,14 @@ class ParallelExecutor:
         self.chunk_timeout = chunk_timeout
         self.fault_injection = fault_injection
         #: cumulative fault-tolerance accounting across all map_chunks calls
+        #: (an executor may be shared by concurrently-scheduled stages, so
+        #: increments go through :attr:`_stats_lock`)
         self.stats: Dict[str, int] = {
             "chunk_failures": 0,
             "retries": 0,
             "degraded_chunks": 0,
         }
+        self._stats_lock = threading.Lock()
 
     @staticmethod
     def from_jobs(
@@ -257,9 +261,10 @@ class ParallelExecutor:
             degraded += 1
             results[idx] = list(worker(payloads[idx]))
 
-        self.stats["chunk_failures"] += failures
-        self.stats["retries"] += retried
-        self.stats["degraded_chunks"] += degraded
+        with self._stats_lock:
+            self.stats["chunk_failures"] += failures
+            self.stats["retries"] += retried
+            self.stats["degraded_chunks"] += degraded
         if counters is not None:
             counters["worker_failures"] = counters.get("worker_failures", 0) + failures
             counters["worker_retries"] = counters.get("worker_retries", 0) + retried

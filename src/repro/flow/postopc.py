@@ -22,11 +22,14 @@ every run carries a :class:`~repro.flow.trace.FlowTrace`.
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, cast
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple, cast
 
 if TYPE_CHECKING:
     from repro.flow.journal import InterruptGuard, RunJournal
+    from repro.flow.scheduler import StageScheduler
 
 from repro.analysis import RankComparison, compare_rankings
 from repro.cells import CellLibrary, build_library
@@ -233,6 +236,12 @@ class PostOpcTimingFlow:
         self._owned_polygons: Optional[List[Tuple[str, Polygon]]] = None
         self._engine: Optional[StaEngine] = None
         self._routed_engine: Optional[StaEngine] = None
+        #: guards the lazily-built shared state above — concurrent stages
+        #: (the async scheduler, or one flow shared by sweep modes) must
+        #: never double-build the layout or an STA engine.  The engines
+        #: themselves are read-only after construction, so concurrent
+        #: ``StaEngine.run`` calls need no lock.
+        self._state_lock = threading.RLock()
 
     def _fingerprint(self) -> str:
         """Content hash of everything that defines this flow's artifacts:
@@ -258,25 +267,28 @@ class PostOpcTimingFlow:
     # -- layout artifacts (computed by PlaceStage, cached on the flow) ------
 
     def _build_layout(self) -> Dict[str, object]:
-        if self._placement is None:
-            self._placement = place_rows(self.netlist, self.cells)
-            self._gate_rects = instance_gate_rects(
-                self.netlist, self.cells, self._placement
-            )
-            self._owned_polygons = self._collect_poly_layer(self._placement)
-        return {
-            "placement": self._placement,
-            "gate_rects": self._gate_rects,
-            "owned_polygons": self._owned_polygons,
-        }
+        with self._state_lock:
+            if self._placement is None:
+                placement = place_rows(self.netlist, self.cells)
+                self._gate_rects = instance_gate_rects(
+                    self.netlist, self.cells, placement
+                )
+                self._owned_polygons = self._collect_poly_layer(placement)
+                self._placement = placement
+            return {
+                "placement": self._placement,
+                "gate_rects": self._gate_rects,
+                "owned_polygons": self._owned_polygons,
+            }
 
     def _install_layout(self, outputs: Dict[str, object]) -> None:
-        if self._placement is None:
-            self._placement = cast(Placement, outputs["placement"])
-            self._gate_rects = cast(GateRectMap, outputs["gate_rects"])
-            self._owned_polygons = cast(
-                List[Tuple[str, Polygon]], outputs["owned_polygons"]
-            )
+        with self._state_lock:
+            if self._placement is None:
+                self._gate_rects = cast(GateRectMap, outputs["gate_rects"])
+                self._owned_polygons = cast(
+                    List[Tuple[str, Polygon]], outputs["owned_polygons"]
+                )
+                self._placement = cast(Placement, outputs["placement"])
 
     @property
     def placement(self) -> Placement:
@@ -298,24 +310,26 @@ class PostOpcTimingFlow:
 
     @property
     def engine(self) -> StaEngine:
-        if self._engine is None:
-            self._engine = StaEngine(
-                self.netlist, self.cells, self.liberty, self.placement
-            )
-        return self._engine
+        with self._state_lock:
+            if self._engine is None:
+                self._engine = StaEngine(
+                    self.netlist, self.cells, self.liberty, self.placement
+                )
+            return self._engine
 
     def _engine_for(self, config: "FlowConfig") -> StaEngine:
         if not config.use_routing:
             return self.engine
-        if self._routed_engine is None:
-            from repro.route import route_design
+        with self._state_lock:
+            if self._routed_engine is None:
+                from repro.route import route_design
 
-            routing = route_design(self.netlist, self.cells, self.placement)
-            self._routed_engine = StaEngine(
-                self.netlist, self.cells, self.liberty, self.placement,
-                net_lengths=routing.net_lengths(),
-            )
-        return self._routed_engine
+                routing = route_design(self.netlist, self.cells, self.placement)
+                self._routed_engine = StaEngine(
+                    self.netlist, self.cells, self.liberty, self.placement,
+                    net_lengths=routing.net_lengths(),
+                )
+            return self._routed_engine
 
     def _collect_poly_layer(self, placement: Placement) -> List[Tuple[str, Polygon]]:
         """Flat poly shapes, tagged with the owning gate instance."""
@@ -482,6 +496,7 @@ class PostOpcTimingFlow:
         trace: Optional[FlowTrace] = None,
         journal: Optional["RunJournal"] = None,
         interrupt: Optional["InterruptGuard"] = None,
+        scheduler: Optional["StageScheduler"] = None,
     ) -> FlowReport:
         """Execute the stage graph and assemble the report.
 
@@ -493,8 +508,16 @@ class PostOpcTimingFlow:
         :class:`~repro.flow.errors.FlowInterrupted` propagates.  Raises
         :class:`~repro.flow.errors.QuarantineExceededError` when more
         than ``config.max_quarantine_fraction`` of the gates had to fall
-        back to drawn CDs.
+        back to drawn CDs.  ``scheduler`` (a
+        :class:`~repro.flow.scheduler.StageScheduler`) routes the run
+        through the async DAG path — bit-identical results, independent
+        stages overlapped — and needs no running event loop here.
         """
+        if scheduler is not None:
+            return asyncio.run(self.run_async(
+                config, scheduler, context=context, trace=trace,
+                journal=journal, interrupt=interrupt,
+            ))
         config = config or FlowConfig()
         context = context if context is not None else self.context
         trace = trace if trace is not None else FlowTrace()
@@ -510,6 +533,53 @@ class PostOpcTimingFlow:
                 journal.record_interrupted(exc.signal_name, exc.next_stage)
             raise
 
+        return self._assemble_report(config, artifacts, trace)
+
+    async def run_async(
+        self,
+        config: Optional[FlowConfig],
+        scheduler: "StageScheduler",
+        *,
+        context: Optional[FlowContext] = None,
+        trace: Optional[FlowTrace] = None,
+        journal: Optional["RunJournal"] = None,
+        interrupt: Optional["InterruptGuard"] = None,
+    ) -> FlowReport:
+        """Async counterpart of :meth:`run`, driven by a
+        :class:`~repro.flow.scheduler.StageScheduler` on the caller's
+        event loop.
+
+        Identical contract and (bit-identical) results; independent
+        stages run concurrently, and runs sharing this flow's context —
+        other modes of a sweep, other service jobs — dedup in-flight
+        work via the context's single-flight settle.
+        """
+        config = config or FlowConfig()
+        context = context if context is not None else self.context
+        trace = trace if trace is not None else FlowTrace()
+        self.preflight(config)
+
+        try:
+            artifacts = await scheduler.execute(
+                self, config, context, trace, journal=journal, interrupt=interrupt
+            )
+        except FlowInterrupted as exc:
+            context.flush()
+            if journal is not None:
+                journal.record_interrupted(exc.signal_name, exc.next_stage)
+            raise
+
+        return self._assemble_report(config, artifacts, trace)
+
+    def _assemble_report(
+        self,
+        config: FlowConfig,
+        artifacts: Dict[str, Any],
+        trace: FlowTrace,
+    ) -> FlowReport:
+        """Turn the settled artifacts into a :class:`FlowReport` (pure
+        post-processing — shared verbatim by the serial and async paths,
+        so the two cannot drift)."""
         # Degraded-coverage accounting: gates quarantined by metrology
         # (bad CD extraction) or back-annotation (non-physical derate)
         # run on drawn CDs; past the threshold the number is meaningless.

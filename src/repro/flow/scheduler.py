@@ -1,0 +1,228 @@
+"""Async stage-level DAG scheduler.
+
+The serial :meth:`~repro.flow.stages.StageGraph.execute` loop walks the
+flow one stage at a time, so independent branches — post-STA vs. hold
+vs. power, or the four OPC modes of a sweep — wait on each other for no
+reason.  :class:`StageScheduler` runs the same graph dependency-driven:
+every stage whose parents have settled is launched concurrently (each on
+a worker thread via :func:`asyncio.to_thread`; the CPU-heavy tile work
+inside a stage still fans out through the flow's
+:class:`~repro.flow.parallel.ParallelExecutor`), and all stages settle
+through the same :func:`~repro.flow.stages.settle_stage` path as the
+serial loop — results are **bit-identical by construction**, only the
+order and overlap of execution change.
+
+Cross-run sharing comes from the context's single-flight settle: when two
+concurrent runs (two modes of a sweep, two service jobs) want the same
+Merkle artifact key, one computes and the other blocks on the per-key
+lock and is served the result — counted as ``deduped`` in its trace
+record and journaled as a ``deduped`` scheduler event.
+
+Each stage record carries its execution window (``t_start``/``t_end``),
+so :attr:`FlowTrace.concurrent_stages` can *prove* overlap rather than
+assert it; the scheduler also annotates the trace with
+``cache_consistent`` from :meth:`FlowContext.consistency`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.flow.context import FlowContext, SettleOutcome
+from repro.flow.errors import FlowInterrupted
+from repro.flow.stages import FlowStage, StageGraph, settle_stage, stage_key
+from repro.flow.trace import FlowTrace
+
+if TYPE_CHECKING:
+    from repro.flow.journal import InterruptGuard, RunJournal
+    from repro.flow.postopc import FlowConfig, PostOpcTimingFlow
+
+
+@dataclass
+class SettledStage:
+    """One stage settled by the scheduler: its products plus telemetry."""
+
+    name: str
+    key: str
+    outputs: Dict[str, Any]
+    counters: Dict[str, float]
+    outcome: SettleOutcome
+    t_start: float
+    t_end: float
+
+
+def _settle_sync(
+    flow: "PostOpcTimingFlow",
+    stage: FlowStage,
+    config: "FlowConfig",
+    key: str,
+    inputs: Dict[str, Any],
+    context: FlowContext,
+    journal: Optional["RunJournal"],
+) -> SettledStage:
+    """Worker-thread body: time and settle one stage.
+
+    ``inputs`` holds the merged outputs of the stage's *declared* parents
+    only — exactly the artifacts the serial loop guarantees exist when
+    the stage runs, and (enforced by the ``cache-undeclared-input`` lint
+    gate) the only ones ``run()`` may read, so the narrower dict cannot
+    change behavior.
+    """
+    if journal is not None:
+        journal.record_event("start", stage.name, key)
+    t_start = time.perf_counter()
+    outputs, counters, outcome = settle_stage(
+        flow, stage, config, key, inputs, context
+    )
+    t_end = time.perf_counter()
+    if outcome.deduped:
+        # Request-specific fact, never part of the cached counters.
+        counters["deduped"] = 1.0
+        if journal is not None:
+            journal.record_event("deduped", stage.name, key)
+    return SettledStage(stage.name, key, outputs, counters, outcome,
+                        t_start, t_end)
+
+
+class StageScheduler:
+    """Dependency-driven concurrent executor for a :class:`StageGraph`.
+
+    Stateless across runs (safe to share between service jobs):
+    ``max_concurrent_stages`` caps how many stages of *one run* are in
+    flight at once (None = the graph's natural width).  All scheduling
+    happens on the caller's event loop; stage bodies run on worker
+    threads.
+    """
+
+    def __init__(self, max_concurrent_stages: Optional[int] = None) -> None:
+        if max_concurrent_stages is not None and max_concurrent_stages < 1:
+            raise ValueError(
+                f"max_concurrent_stages must be >= 1, got {max_concurrent_stages}"
+            )
+        self.max_concurrent_stages = max_concurrent_stages
+
+    async def execute(
+        self,
+        flow: "PostOpcTimingFlow",
+        config: "FlowConfig",
+        context: FlowContext,
+        trace: FlowTrace,
+        journal: Optional["RunJournal"] = None,
+        interrupt: Optional["InterruptGuard"] = None,
+    ) -> Dict[str, Any]:
+        """Run every stage of ``flow.graph`` as soon as its parents settle.
+
+        Same contract as the serial ``StageGraph.execute`` — returns the
+        merged artifacts, journals one ``stage`` record per settle, wraps
+        stage failures in :class:`~repro.flow.errors.StageError` — plus
+        scheduler ``ready``/``start``/``done``/``deduped`` journal events.
+        An interrupt is honored *between* launches: in-flight stages
+        settle (cached and journaled) before
+        :class:`~repro.flow.errors.FlowInterrupted` unwinds the run.  On
+        a stage failure the remaining in-flight stages settle, then the
+        failure earliest in topological order is raised (deterministic
+        regardless of completion timing).
+        """
+        graph: StageGraph = flow.graph
+        order = graph.validate(config)
+        rank = {stage.name: i for i, stage in enumerate(order)}
+
+        artifacts: Dict[str, Any] = {}
+        outputs_by_stage: Dict[str, Dict[str, Any]] = {}
+        keys: Dict[str, str] = {}
+        done: Set[str] = set()
+        announced: Set[str] = set()
+        running: Dict["asyncio.Task[SettledStage]", str] = {}
+        failures: List[Tuple[int, BaseException]] = []
+
+        def _launch_ready() -> None:
+            in_flight = set(running.values())
+            for stage in graph.ready_set(config, done):
+                if stage.name in in_flight:
+                    continue
+                if (self.max_concurrent_stages is not None
+                        and len(running) >= self.max_concurrent_stages):
+                    break
+                parents = stage.requires(config)
+                key = stage_key(
+                    flow, stage, config, tuple(keys[p] for p in parents)
+                )
+                keys[stage.name] = key
+                if journal is not None and stage.name not in announced:
+                    journal.record_event("ready", stage.name, key)
+                announced.add(stage.name)
+                inputs: Dict[str, Any] = {}
+                for parent in parents:
+                    inputs.update(outputs_by_stage[parent])
+                task = asyncio.create_task(
+                    asyncio.to_thread(
+                        _settle_sync, flow, stage, config, key, inputs,
+                        context, journal,
+                    ),
+                    name=f"stage:{stage.name}",
+                )
+                running[task] = stage.name
+                in_flight.add(stage.name)
+
+        async def _drain(tasks: Set["asyncio.Task[SettledStage]"]) -> None:
+            for task in tasks:
+                name = running.pop(task)
+                try:
+                    settled = await task
+                except FlowInterrupted:
+                    raise
+                # repro-lint: allow[broad-except] failure is re-raised after siblings settle (deterministic first-in-topo-order)
+                except Exception as exc:
+                    done.add(name)
+                    failures.append((rank[name], exc))
+                    continue
+                done.add(name)
+                outputs_by_stage[name] = settled.outputs
+                artifacts.update(settled.outputs)
+                record = trace.add(
+                    settled.name, settled.t_end - settled.t_start,
+                    cache_hit=settled.outcome.cache_hit,
+                    counters=settled.counters,
+                    cache_source=settled.outcome.source,
+                    t_start=settled.t_start, t_end=settled.t_end,
+                )
+                if journal is not None:
+                    journal.record_event("done", name, settled.key)
+                    # repro-lint: allow[entropy-taint] wall-time is telemetry: resume replays keys, never durations
+                    journal.record_stage(
+                        record, key=settled.key,
+                        quarantined=int(
+                            record.counters.get("quarantined_gates", 0)
+                        ),
+                    )
+
+        try:
+            while len(done) < len(order):
+                stopping = (interrupt is not None
+                            and interrupt.interrupted is not None)
+                if not failures and not stopping:
+                    _launch_ready()
+                if not running:
+                    break
+                finished, _ = await asyncio.wait(
+                    set(running), return_when=asyncio.FIRST_COMPLETED
+                )
+                await _drain(finished)
+        finally:
+            if running:
+                # Let every in-flight stage settle (their artifacts are
+                # cached and journaled) before unwinding.
+                leftover, _ = await asyncio.wait(set(running))
+                await _drain(leftover)
+            trace.annotations["cache_consistent"] = not context.consistency()
+
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            raise failures[0][1]
+        if interrupt is not None:
+            pending = [s.name for s in order if s.name not in done]
+            interrupt.checkpoint(next_stage=pending[0] if pending else None)
+        return artifacts

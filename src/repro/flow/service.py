@@ -1,0 +1,429 @@
+"""Flow-as-a-service front-end over the async scheduler.
+
+:class:`FlowService` turns a set of pre-built flows (one per design) into
+an asyncio job server: ``submit`` enqueues a flow or sweep request onto a
+**bounded** queue (a full queue rejects with
+:class:`~repro.flow.errors.ServiceRejectedError` — backpressure, not
+unbounded buffering), a fixed pool of workers drains it through one
+shared :class:`~repro.flow.scheduler.StageScheduler` and the flows'
+shared :class:`~repro.flow.context.FlowContext`, and
+``status``/``result``/``report`` expose each job's lifecycle.
+
+Because every worker settles stages against the same context, two
+concurrent identical submissions compute each artifact key **exactly
+once**: the second job's stages either block on the first's in-flight
+settle (counted ``deduped`` in its trace) or serve finished artifacts as
+cache hits.  Each request carries its own quarantine budget
+(``FlowConfig.max_quarantine_fraction``) and, under a ``run_root``, its
+own run journal — so a service job is exactly as durable and resumable
+as a CLI run.
+
+Job exit codes follow the CLI contract
+(:mod:`repro.flow.errors`): 0 ok, 1 stage failure, 2 interrupted,
+3 rejected input, 4 quarantine exceeded.
+
+The same operations are exposed over a local socket (UNIX or TCP) as a
+JSON-lines protocol — one request object per line, one response object
+per line — see :meth:`FlowService.serve_unix` / :meth:`serve_tcp`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.flow.context import stable_hash
+from repro.flow.errors import EXIT_FAILURE, FlowError, ServiceRejectedError
+from repro.flow.journal import RunJournal
+from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
+from repro.flow.scheduler import StageScheduler
+from repro.flow.sweep import FlowSweep, SweepResult
+
+#: FlowConfig fields settable through the socket protocol (simple JSON
+#: scalars only — recipe/condition objects need the in-process API)
+_WIRE_CONFIG_FIELDS = (
+    "opc_mode",
+    "clock_period_ps",
+    "n_critical_paths",
+    "n_slices",
+    "use_routing",
+    "max_quarantine_fraction",
+)
+
+
+@dataclass
+class Job:
+    """One submitted request and everything learned about it."""
+
+    id: str
+    design: str
+    op: str  # "flow" | "sweep"
+    config: FlowConfig
+    state: str = "queued"  # queued | running | done | failed
+    exit_code: Optional[int] = None
+    error: str = ""
+    #: JSON-able digest filled when the job settles (see _summarize_*)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    #: the Python result object, for in-process callers
+    result: Optional[Union[FlowReport, SweepResult]] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def status(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "design": self.design,
+            "op": self.op,
+            "opc_mode": self.config.opc_mode,
+            "state": self.state,
+        }
+        if self.exit_code is not None:
+            payload["exit_code"] = self.exit_code
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+def _summarize_report(report: FlowReport) -> Dict[str, Any]:
+    trace = report.trace
+    return {
+        "opc_mode": report.opc_mode,
+        "wns_drawn": report.wns_drawn,
+        "wns_post": report.wns_post,
+        "leakage_drawn": report.leakage_drawn,
+        "leakage_post": report.leakage_post,
+        "coverage": report.coverage,
+        "quarantined_gates": len(report.quarantined_gates),
+        "stages": len(trace),
+        "cache_hits": trace.cache_hits,
+        "cache_misses": trace.cache_misses,
+        "deduped": trace.deduped,
+        "concurrent_stages": trace.concurrent_stages,
+    }
+
+
+def _summarize_sweep(result: SweepResult) -> Dict[str, Any]:
+    modes = {
+        mode: _summarize_report(report)
+        for mode, report in result.reports.items()
+    }
+    return {
+        "modes": modes,
+        "failures": dict(result.failures),
+        "stages": sum(m["stages"] for m in modes.values()),
+        "cache_hits": sum(m["cache_hits"] for m in modes.values()),
+        "cache_misses": sum(m["cache_misses"] for m in modes.values()),
+        "deduped": sum(m["deduped"] for m in modes.values()),
+        "table": result.table(),
+    }
+
+
+class FlowService:
+    """Bounded-queue job service over a set of named flows.
+
+    ``flows`` maps design names to pre-built
+    :class:`~repro.flow.postopc.PostOpcTimingFlow` objects — typically
+    all sharing one :class:`~repro.flow.context.FlowContext` so requests
+    dedup against each other.  ``max_queue`` bounds the number of
+    *queued* (not yet running) jobs; ``workers`` fixes how many jobs run
+    concurrently; ``run_root`` (optional) gives every job a journaled run
+    directory ``<run_root>/<job_id>/``.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        flows: Mapping[str, PostOpcTimingFlow],
+        *,
+        max_queue: int = 16,
+        workers: int = 2,
+        run_root: Optional[str] = None,
+        max_concurrent_stages: Optional[int] = None,
+    ) -> None:
+        if not flows:
+            raise ValueError("FlowService needs at least one design")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.flows: Dict[str, PostOpcTimingFlow] = dict(flows)
+        self.max_queue = max_queue
+        self.n_workers = workers
+        self.run_root = run_root
+        self.scheduler = StageScheduler(max_concurrent_stages)
+        self.jobs: Dict[str, Job] = {}
+        self._queue: Optional["asyncio.Queue[Job]"] = None
+        self._workers: List["asyncio.Task[None]"] = []
+        self._servers: List[asyncio.AbstractServer] = []
+        self._counter = 0
+        self._stopped = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        if not self._stopped:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._stopped = False
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"flow-service-worker-{i}")
+            for i in range(self.n_workers)
+        ]
+
+    async def stop(self) -> None:
+        """Stop accepting work, let running jobs finish, shut servers down.
+
+        Jobs still queued (never started) are marked failed with a
+        ``service stopped`` error rather than silently dropped.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        assert self._queue is not None
+        while True:
+            try:
+                queued = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if queued is not None:
+                queued.state = "failed"
+                queued.exit_code = EXIT_FAILURE
+                queued.error = "service stopped before the job started"
+                queued.done_event.set()
+            self._queue.task_done()
+        for _ in self._workers:
+            await self._queue.put(None)  # type: ignore[arg-type]
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers = []
+
+    async def __aenter__(self) -> "FlowService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- operations ----------------------------------------------------------
+
+    def submit(
+        self,
+        design: str,
+        op: str = "flow",
+        config: Optional[FlowConfig] = None,
+    ) -> str:
+        """Enqueue one job; returns its id.
+
+        Rejects with :class:`~repro.flow.errors.ServiceRejectedError`
+        (never queues) when the service is stopped (``stopped``), the
+        design is unknown (``unknown-design``), the op is unknown
+        (``bad-config``), or the bounded queue is full (``queue-full``).
+        """
+        if self._stopped or self._queue is None:
+            raise ServiceRejectedError("stopped", "service is not running")
+        if design not in self.flows:
+            known = ", ".join(sorted(self.flows))
+            raise ServiceRejectedError(
+                "unknown-design", f"no design {design!r} (have: {known})"
+            )
+        if op not in ("flow", "sweep"):
+            raise ServiceRejectedError(
+                "bad-config", f"op must be 'flow' or 'sweep', got {op!r}"
+            )
+        self._counter += 1
+        job = Job(
+            id=f"job-{self._counter:04d}",
+            design=design,
+            op=op,
+            config=config if config is not None else FlowConfig(),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            raise ServiceRejectedError(
+                "queue-full",
+                f"bounded queue ({self.max_queue}) is full; retry later",
+            ) from None
+        self.jobs[job.id] = job
+        return job.id
+
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceRejectedError("unknown-job", f"no job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's lifecycle state (queued/running/done/failed)."""
+        return self._job(job_id).status()
+
+    async def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Union[FlowReport, SweepResult]:
+        """Await the job and return its Python result object.
+
+        A failed job re-raises nothing — inspect :meth:`status` — but a
+        missing result (failed job) raises
+        :class:`~repro.flow.errors.ServiceRejectedError` naming the
+        failure.
+        """
+        job = self._job(job_id)
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        if job.result is None:
+            raise ServiceRejectedError(
+                "failed-job", f"{job_id} failed: {job.error}"
+            )
+        return job.result
+
+    async def report(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Await the job and return its JSON-able summary + status."""
+        job = self._job(job_id)
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        return {**job.status(), "summary": job.summary}
+
+    # -- execution -----------------------------------------------------------
+
+    def _open_journal(self, job: Job) -> Optional[RunJournal]:
+        if self.run_root is None:
+            return None
+        run_dir = os.path.join(self.run_root, job.id)
+        flow = self.flows[job.design]
+        return RunJournal.create(run_dir, manifest={
+            "design": job.design,
+            "op": job.op,
+            "fingerprint": flow.fingerprint,
+            "config_hash": stable_hash(job.config),
+        })
+
+    async def _run_job(self, job: Job) -> None:
+        flow = self.flows[job.design]
+        journal = self._open_journal(job)
+        try:
+            if job.op == "flow":
+                report = await flow.run_async(
+                    job.config, self.scheduler, journal=journal
+                )
+                job.result = report
+                job.summary = _summarize_report(report)
+            else:
+                sweep_result = await FlowSweep(flow).run_async(
+                    job.config, scheduler=self.scheduler, journal=journal
+                )
+                job.result = sweep_result
+                job.summary = _summarize_sweep(sweep_result)
+            job.state = "done"
+            job.exit_code = 0
+            if journal is not None:
+                journal.record_complete(job_id=job.id)
+        except FlowError as exc:
+            job.state = "failed"
+            job.exit_code = exc.exit_code
+            job.error = f"{type(exc).__name__}: {exc}"
+            if journal is not None:
+                journal.record_failed(exc)
+        # repro-lint: allow[broad-except] service isolation: one bad job must not kill the worker pool
+        except Exception as exc:
+            job.state = "failed"
+            job.exit_code = 1
+            job.error = f"{type(exc).__name__}: {exc}"
+            if journal is not None:
+                journal.record_failed(exc)
+        finally:
+            if journal is not None:
+                journal.close()
+            job.done_event.set()
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            if job is None:  # stop sentinel
+                self._queue.task_done()
+                return
+            job.state = "running"
+            await self._run_job(job)
+            self._queue.task_done()
+
+    # -- socket front-end ----------------------------------------------------
+
+    def _config_from_wire(self, payload: Dict[str, Any]) -> FlowConfig:
+        unknown = sorted(set(payload) - set(_WIRE_CONFIG_FIELDS))
+        if unknown:
+            raise ServiceRejectedError(
+                "bad-config", f"unknown config fields: {unknown}"
+            )
+        try:
+            return FlowConfig(**payload)
+        except (TypeError, ValueError) as exc:
+            raise ServiceRejectedError("bad-config", str(exc)) from exc
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "designs": sorted(self.flows),
+                    "jobs": len(self.jobs)}
+        if op == "submit":
+            config = self._config_from_wire(dict(request.get("config") or {}))
+            job_id = self.submit(
+                str(request.get("design", "")),
+                str(request.get("kind", "flow")),
+                config,
+            )
+            return {"ok": True, "id": job_id}
+        if op == "status":
+            return {"ok": True, **self.status(str(request.get("id", "")))}
+        if op in ("result", "report"):
+            payload = await self.report(
+                str(request.get("id", "")), timeout=request.get("timeout")
+            )
+            return {"ok": True, **payload}
+        raise ServiceRejectedError("bad-config", f"unknown op {op!r}")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    response = await self._dispatch(request)
+                except ServiceRejectedError as exc:
+                    response = {"ok": False, "reason": exc.reason,
+                                "error": str(exc)}
+                except (ValueError, asyncio.TimeoutError) as exc:
+                    response = {"ok": False, "reason": "bad-request",
+                                "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve_unix(self, path: str) -> asyncio.AbstractServer:
+        """Expose the JSON-lines protocol on a UNIX socket at ``path``."""
+        server = await asyncio.start_unix_server(self._handle_connection, path)
+        self._servers.append(server)
+        return server
+
+    async def serve_tcp(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Expose the JSON-lines protocol on a local TCP socket."""
+        server = await asyncio.start_server(self._handle_connection, host, port)
+        self._servers.append(server)
+        return server

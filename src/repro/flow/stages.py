@@ -31,8 +31,8 @@ from typing import (
     Tuple,
 )
 
-from repro.flow.context import MISSING, FlowContext, stable_hash
-from repro.flow.errors import FlowError, StageError
+from repro.flow.context import FlowContext, SettleOutcome, stable_hash
+from repro.flow.errors import FlowError, GraphValidationError, StageError
 from repro.flow.trace import FlowTrace
 from repro.metrology.gate_cd import (
     measure_tile_chunk,
@@ -78,6 +78,17 @@ class FlowStage:
         depend on the config, e.g. selective OPC needs critical gates)."""
         return ()
 
+    def provides(self) -> Tuple[str, ...]:
+        """Names of the artifacts this stage's :meth:`run` returns.
+
+        Explicit edge data: :meth:`StageGraph.validate` rejects graphs
+        where two stages provide the same artifact (the merged artifact
+        dict would be schedule-dependent), and the ``stage-edge-contract``
+        lint rule cross-checks these declarations against what ``run``
+        actually returns.
+        """
+        return ()
+
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         """The part of the config that can change this stage's output."""
         return ()
@@ -101,6 +112,9 @@ class PlaceStage(FlowStage):
 
     name = "place"
     version = 1
+
+    def provides(self) -> Tuple[str, ...]:
+        return ("placement", "gate_rects", "owned_polygons")
 
     def install(self, flow: "PostOpcTimingFlow", outputs: Dict[str, Any]) -> None:
         flow._install_layout(outputs)
@@ -128,6 +142,9 @@ class DrawnStaStage(FlowStage):
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place",)
 
+    def provides(self) -> Tuple[str, ...]:
+        return ("drawn_sta",)
+
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
 
@@ -153,6 +170,9 @@ class TagCriticalStage(FlowStage):
 
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("sta_drawn",)
+
+    def provides(self) -> Tuple[str, ...]:
+        return ("critical_gates",)
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.n_critical_paths,)
@@ -182,6 +202,9 @@ class OpcStage(FlowStage):
         if config.opc_mode == "selective":
             return ("place", "tag_critical")
         return ("place",)
+
+    def provides(self) -> Tuple[str, ...]:
+        return ("mask_polygons", "model_corrected_polygons")
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         mode = config.opc_mode
@@ -220,6 +243,9 @@ class MetrologyStage(FlowStage):
 
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "opc")
+
+    def provides(self) -> Tuple[str, ...]:
+        return ("measurements", "cd_quarantine")
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.condition, config.n_slices, config.process_map)
@@ -276,6 +302,9 @@ class BackAnnotateStage(FlowStage):
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("metrology",)
 
+    def provides(self) -> Tuple[str, ...]:
+        return ("derates", "derate_quarantine")
+
     def run(
         self,
         flow: "PostOpcTimingFlow",
@@ -305,6 +334,9 @@ class PostStaStage(FlowStage):
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "back_annotate")
 
+    def provides(self) -> Tuple[str, ...]:
+        return ("post_sta",)
+
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
 
@@ -333,6 +365,9 @@ class HoldStage(FlowStage):
 
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "back_annotate")
+
+    def provides(self) -> Tuple[str, ...]:
+        return ("hold_drawn", "hold_post")
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
         return (config.use_routing,)
@@ -365,6 +400,9 @@ class PowerStage(FlowStage):
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("metrology",)
 
+    def provides(self) -> Tuple[str, ...]:
+        return ("leakage_drawn", "leakage_post")
+
     def run(
         self,
         flow: "PostOpcTimingFlow",
@@ -384,8 +422,74 @@ class PowerStage(FlowStage):
         return {"leakage_drawn": drawn, "leakage_post": post}
 
 
+def stage_key(
+    flow: "PostOpcTimingFlow",
+    stage: FlowStage,
+    config: "FlowConfig",
+    parent_keys: Tuple[str, ...],
+) -> str:
+    """The Merkle artifact key of one stage for one flow/config.
+
+    Hashes (flow fingerprint, stage name+version, the stage's config
+    slice, the keys of its parents in ``requires()`` order) — so a stage
+    is invalidated exactly when its own inputs change, and two different
+    designs can never collide in a shared context.
+    """
+    return stable_hash((
+        flow.fingerprint,
+        stage.name,
+        stage.version,
+        stage.config_slice(flow, config),
+        parent_keys,
+    ))
+
+
+def settle_stage(
+    flow: "PostOpcTimingFlow",
+    stage: FlowStage,
+    config: "FlowConfig",
+    key: str,
+    artifacts: Dict[str, Any],
+    context: FlowContext,
+) -> Tuple[Dict[str, Any], Dict[str, float], SettleOutcome]:
+    """Settle one stage against the context: serve, await, or compute.
+
+    The single code path both the serial :meth:`StageGraph.execute` loop
+    and the async scheduler go through, so their results are identical by
+    construction.  Returns ``(outputs, counters, outcome)``; on a cache
+    hit the stage's :meth:`~FlowStage.install` hook has already re-attached
+    the artifacts to the flow.  A stage exception is wrapped in
+    :class:`~repro.flow.errors.StageError` naming the stage and key
+    (structured :class:`~repro.flow.errors.FlowError` subclasses pass
+    through untouched), and nothing is cached.
+    """
+
+    def _compute() -> Tuple[Dict[str, Any], Dict[str, float]]:
+        counters: Dict[str, float] = {}
+        try:
+            outputs = stage.run(flow, config, artifacts, counters, context)
+        except FlowError:
+            raise
+        except Exception as exc:
+            raise StageError(stage.name, key, exc) from exc
+        return (outputs, dict(counters))
+
+    outcome = context.settle(stage.name, key, _compute)
+    outputs, counters = outcome.value
+    if outcome.cache_hit:
+        stage.install(flow, outputs)
+    return outputs, dict(counters), outcome
+
+
 class StageGraph:
-    """Executes stages in declared order with content-addressed caching."""
+    """A declarative DAG of stages with content-addressed caching.
+
+    ``requires()`` edges are validated up front (:meth:`validate` rejects
+    missing producers, duplicate artifact providers, and cycles with a
+    :class:`~repro.flow.errors.GraphValidationError` pinning the defect
+    kind) and drive both the serial :meth:`execute` loop and the async
+    :class:`~repro.flow.scheduler.StageScheduler` via :meth:`ready_set`.
+    """
 
     def __init__(self, stages: Sequence[FlowStage]) -> None:
         names: Set[str] = set()
@@ -401,9 +505,97 @@ class StageGraph:
                 raise ValueError(f"duplicate stage name {stage.name!r}")
             names.add(stage.name)
         self.stages: List[FlowStage] = list(stages)
+        self._by_name: Dict[str, FlowStage] = {s.name: s for s in self.stages}
 
     def __iter__(self) -> Iterator[FlowStage]:
         return iter(self.stages)
+
+    def stage(self, name: str) -> FlowStage:
+        """The member stage carrying ``name`` (KeyError if absent)."""
+        return self._by_name[name]
+
+    def edges(self, config: "FlowConfig") -> List[Tuple[str, str]]:
+        """The dependency edges as (parent, child) pairs, in declaration
+        order (``requires()`` may depend on the config — selective OPC
+        adds a ``tag_critical -> opc`` edge)."""
+        pairs: List[Tuple[str, str]] = []
+        for stage in self.stages:
+            for parent in stage.requires(config):
+                pairs.append((parent, stage.name))
+        return pairs
+
+    def artifact_producers(self) -> Dict[str, str]:
+        """Artifact name -> producing stage name, per ``provides()``."""
+        producers: Dict[str, str] = {}
+        for stage in self.stages:
+            for artifact in stage.provides():
+                producers[artifact] = stage.name
+        return producers
+
+    def validate(self, config: "FlowConfig") -> List[FlowStage]:
+        """Check the graph is a well-formed DAG; returns a topological
+        order (declaration order among ready stages, so the default graph
+        schedules exactly as it is declared).
+
+        Raises :class:`~repro.flow.errors.GraphValidationError` with
+        ``kind`` set to ``missing-producer`` (a ``requires()`` names no
+        member stage), ``duplicate-producer`` (two stages ``provides()``
+        the same artifact), or ``cycle``.
+        """
+        provided: Dict[str, str] = {}
+        for stage in self.stages:
+            for artifact in stage.provides():
+                if artifact in provided:
+                    raise GraphValidationError(
+                        "duplicate-producer",
+                        f"artifact {artifact!r} is provided by both "
+                        f"{provided[artifact]!r} and {stage.name!r}",
+                    )
+                provided[artifact] = stage.name
+        for stage in self.stages:
+            for parent in stage.requires(config):
+                if parent not in self._by_name:
+                    raise GraphValidationError(
+                        "missing-producer",
+                        f"stage {stage.name!r} requires {parent!r}, "
+                        "which no stage in the graph carries",
+                    )
+        # Declaration-order-stable topological sort: each pass appends
+        # every stage that became ready, in declaration order.  For the
+        # default graph (declared in a valid topological order) this
+        # returns exactly the declaration order, so the serial engine's
+        # trace/journal sequence is independent of which edges a given
+        # config happens to relax.
+        order: List[FlowStage] = []
+        done: Set[str] = set()
+        while len(order) < len(self.stages):
+            progressed = False
+            for stage in self.stages:
+                if stage.name in done:
+                    continue
+                if all(p in done for p in stage.requires(config)):
+                    order.append(stage)
+                    done.add(stage.name)
+                    progressed = True
+            if not progressed:
+                stuck = sorted(name for name in self._by_name if name not in done)
+                raise GraphValidationError(
+                    "cycle",
+                    "requires() edges contain a dependency cycle among "
+                    f"{stuck}",
+                )
+        return order
+
+    def ready_set(self, config: "FlowConfig", done: Set[str]) -> List[FlowStage]:
+        """Stages whose parents are all in ``done`` and which are not
+        themselves done — the schedulable frontier, in declaration order."""
+        ready: List[FlowStage] = []
+        for stage in self.stages:
+            if stage.name in done:
+                continue
+            if all(parent in done for parent in stage.requires(config)):
+                ready.append(stage)
+        return ready
 
     def execute(
         self,
@@ -414,59 +606,41 @@ class StageGraph:
         journal: Optional["RunJournal"] = None,
         interrupt: Optional["InterruptGuard"] = None,
     ) -> Dict[str, Any]:
-        """Run (or re-serve) every stage; returns the merged artifacts.
+        """Run (or re-serve) every stage serially; returns the merged
+        artifacts.
 
-        ``journal`` (a :class:`~repro.flow.journal.RunJournal`) receives
-        one ``stage`` record per settled stage; ``interrupt`` (an
+        The graph is :meth:`validate`-d first, then walked in topological
+        order through :func:`settle_stage` — the same settle path the
+        async scheduler uses, so serial and concurrent runs are
+        bit-identical.  ``journal`` (a
+        :class:`~repro.flow.journal.RunJournal`) receives one ``stage``
+        record per settled stage; ``interrupt`` (an
         :class:`~repro.flow.journal.InterruptGuard`) is polled *between*
         stages, so a stop request lets the in-flight stage settle — its
         artifacts are cached and journaled — before
         :class:`~repro.flow.errors.FlowInterrupted` unwinds the run.
-        A stage that raises is wrapped in
-        :class:`~repro.flow.errors.StageError` naming the stage and its
-        artifact key.
         """
         artifacts: Dict[str, Any] = {}
         keys: Dict[str, str] = {}
-        for stage in self.stages:
+        for stage in self.validate(config):
             if interrupt is not None:
                 interrupt.checkpoint(next_stage=stage.name)
             parents = stage.requires(config)
-            missing = [p for p in parents if p not in keys]
-            if missing:
-                raise ValueError(
-                    f"stage {stage.name!r} requires {missing} before it in the graph"
-                )
-            key = stable_hash((
-                flow.fingerprint,
-                stage.name,
-                stage.version,
-                stage.config_slice(flow, config),
-                tuple(keys[p] for p in parents),
-            ))
+            key = stage_key(flow, stage, config, tuple(keys[p] for p in parents))
             keys[stage.name] = key
 
             start = time.perf_counter()
-            cached = context.lookup(key)
-            if cached is not MISSING:
-                outputs, counters = cached
-                context.count_hit(stage.name)
-                stage.install(flow, outputs)
-                record = trace.add(stage.name, time.perf_counter() - start,
-                                   cache_hit=True, counters=counters,
-                                   cache_source=context.last_hit_source)
-            else:
-                context.count_miss(stage.name)
-                counters: Dict[str, float] = {}
-                try:
-                    outputs = stage.run(flow, config, artifacts, counters, context)
-                except FlowError:
-                    raise
-                except Exception as exc:
-                    raise StageError(stage.name, key, exc) from exc
-                context.store(key, (outputs, dict(counters)))
-                record = trace.add(stage.name, time.perf_counter() - start,
-                                   cache_hit=False, counters=counters)
+            outputs, counters, outcome = settle_stage(
+                flow, stage, config, key, artifacts, context
+            )
+            end = time.perf_counter()
+            if outcome.deduped:
+                # Request-specific, never part of the cached counters.
+                counters["deduped"] = 1.0
+            record = trace.add(stage.name, end - start,
+                               cache_hit=outcome.cache_hit, counters=counters,
+                               cache_source=outcome.source,
+                               t_start=start, t_end=end)
             if journal is not None:
                 # repro-lint: allow[entropy-taint] wall-time is telemetry: resume replays keys, never durations
                 journal.record_stage(

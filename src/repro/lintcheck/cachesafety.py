@@ -61,8 +61,11 @@ FINGERPRINT_COVERED_FLOW_ATTRS = frozenset({
 
 #: flow attributes that choose *how* artifacts are computed, never *what*
 #: they are: the executor is bit-identical-to-serial by contract, the
-#: context is the cache itself, the graph is the schedule
-EXECUTION_NEUTRAL_FLOW_ATTRS = frozenset({"executor", "context", "graph"})
+#: context is the cache itself, the graph is the schedule, and the state
+#: lock only serializes the lazy builders the fingerprint already covers
+EXECUTION_NEUTRAL_FLOW_ATTRS = frozenset({
+    "executor", "context", "graph", "_state_lock",
+})
 
 ROLE_FLOW = "flow"
 ROLE_CONFIG = "config"
@@ -274,6 +277,8 @@ class StageAnalysis:
     run: Optional[FunctionInfo]
     declared_parents: Set[str] = field(default_factory=set)
     declared_config: Set[str] = field(default_factory=set)
+    declared_provides: Set[str] = field(default_factory=set)
+    has_provides: bool = False
     produced: Set[str] = field(default_factory=set)
     scan: Optional[RunInputScan] = None
 
@@ -314,6 +319,25 @@ def _requires_parents(project: Project, cls: ClassInfo) -> Set[str]:
     return parents
 
 
+def _provides_artifacts(project: Project, cls: ClassInfo) -> Tuple[bool, Set[str]]:
+    """(resolvable, union of string literals returned by ``provides()``).
+
+    Like :func:`_requires_parents`, the union over every return is the
+    declared superset; a stage whose base chain carries no ``provides``
+    at all resolves to ``(False, set())``.
+    """
+    provides = project.resolve_method(cls, "provides")
+    if provides is None:
+        return False, set()
+    declared: Set[str] = set()
+    for node in ast.walk(provides.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+                    declared.add(inner.value)
+    return True, declared
+
+
 def _declared_config_reads(project: Project, cls: ClassInfo) -> Set[str]:
     """Config attributes the stage's ``config_slice()`` exposes —
     collected transitively with the same walker, so a slice built by a
@@ -342,6 +366,16 @@ def _produced_artifacts(run: FunctionInfo) -> Set[str]:
                 if isinstance(key, ast.Constant) and isinstance(key.value, str):
                     produced.add(key.value)
     return produced
+
+
+def _returns_all_literal_dicts(run: FunctionInfo) -> bool:
+    """True when every ``return`` in ``run()`` is a literal dict, so
+    :func:`_produced_artifacts` is the *complete* output set, not just a
+    lower bound (a stage returning a built-up name is opaque here)."""
+    returns = [n for n in ast.walk(run.node) if isinstance(n, ast.Return)]
+    return bool(returns) and all(
+        isinstance(n.value, ast.Dict) for n in returns
+    )
 
 
 def _run_roles(run: FunctionInfo) -> Dict[str, str]:
@@ -391,6 +425,9 @@ def analyze_stages(project: Project) -> List[StageAnalysis]:
             analysis.produced = _produced_artifacts(run)
             analysis.declared_parents = _requires_parents(project, cls)
             analysis.declared_config = _declared_config_reads(project, cls)
+            analysis.has_provides, analysis.declared_provides = (
+                _provides_artifacts(project, cls)
+            )
             analysis.scan = scan_callable(project, run, _run_roles(run))
         analyses.append(analysis)
     project.analysis_cache["cachesafety"] = analyses
@@ -402,7 +439,9 @@ def _artifact_producers(analyses: List[StageAnalysis]) -> Dict[str, str]:
     for analysis in analyses:
         if analysis.stage_name is None:
             continue
-        for artifact in analysis.produced:
+        # provides() covers stages whose run() returns a built-up name
+        # (opaque to _produced_artifacts) — both views feed the map.
+        for artifact in sorted(analysis.produced | analysis.declared_provides):
             producers.setdefault(artifact, analysis.stage_name)
     return producers
 
@@ -491,6 +530,63 @@ class CacheUndeclaredInputRule(ProjectRule):
                 "execution-neutral — expose it through config_slice() or "
                 "fold it into the fingerprint",
             )
+
+
+@register
+class StageEdgeContractRule(ProjectRule):
+    """``provides()`` must agree with what ``run()`` actually returns.
+
+    The scheduler trusts the declared edges: ``StageGraph.validate``
+    checks duplicate producers against ``provides()``, and the async
+    scheduler wires parent outputs to children from the same declaration.
+    A stage that returns an artifact it never declared leaves the graph
+    blind to the edge (two stages could silently produce it); a declared
+    artifact ``run()`` never returns breaks every consumer that
+    ``requires()`` the stage for it.
+    """
+
+    id = "stage-edge-contract"
+    title = "stage provides() disagrees with what run() returns"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for analysis in analyze_stages(project):
+            if analysis.run is None:
+                continue
+            if not project.is_selected(analysis.cls.path):
+                continue
+            yield from self._check_stage(analysis)
+
+    def _check_stage(self, analysis: StageAnalysis) -> Iterator[Finding]:
+        assert analysis.run is not None
+        stage = analysis.cls.name
+        anchor = (analysis.cls.path, analysis.run.node.lineno,
+                  analysis.run.node.col_offset)
+        if not analysis.has_provides:
+            if analysis.produced:
+                yield Finding(
+                    *anchor, self.id,
+                    f"stage {stage!r}: run() returns artifacts "
+                    f"({', '.join(sorted(analysis.produced))}) but no "
+                    "provides() is defined anywhere in the class hierarchy "
+                    "— the stage graph cannot attribute these edges",
+                )
+            return
+        for name in sorted(analysis.produced - analysis.declared_provides):
+            yield Finding(
+                *anchor, self.id,
+                f"stage {stage!r}: run() returns artifact {name!r} that "
+                "provides() does not declare — duplicate-producer "
+                "validation and scheduler input wiring are blind to it",
+            )
+        if _returns_all_literal_dicts(analysis.run):
+            for name in sorted(analysis.declared_provides - analysis.produced):
+                yield Finding(
+                    *anchor, self.id,
+                    f"stage {stage!r}: provides() declares artifact "
+                    f"{name!r} but run() never returns it — a consumer "
+                    "requiring this stage for that artifact gets a "
+                    "KeyError at merge time",
+                )
 
 
 # ---------------------------------------------------------------------------

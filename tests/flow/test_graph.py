@@ -1,0 +1,123 @@
+"""Tests for the declarative stage graph: explicit requires()/provides()
+edges, topological validation with the GraphValidationError taxonomy, and
+the ready_set() frontier the async scheduler schedules from."""
+
+import pytest
+
+from repro.flow import (
+    EXIT_VALIDATION,
+    FlowConfig,
+    FlowStage,
+    GraphValidationError,
+    InputValidationError,
+    StageGraph,
+    default_stage_graph,
+)
+
+
+def _stage(name, requires=(), provides=()):
+    """A minimal config-independent stage for graph-shape tests."""
+
+    # repro-lint: allow[stage-contract] synthetic graph-shape stage, never cached
+    class _Stage(FlowStage):
+        pass
+
+    _Stage.name = name
+    _Stage.requires = lambda self, config, _r=tuple(requires): _r
+    _Stage.provides = lambda self, _p=tuple(provides): _p
+    return _Stage()
+
+
+class TestDefaultGraph:
+    def test_validate_returns_topological_order(self):
+        graph = default_stage_graph()
+        config = FlowConfig()
+        order = [s.name for s in graph.validate(config)]
+        assert sorted(order) == sorted(s.name for s in graph.stages)
+        # every stage appears strictly after all of its parents
+        position = {name: i for i, name in enumerate(order)}
+        for parent, child in graph.edges(config):
+            assert position[parent] < position[child]
+
+    def test_edges_depend_on_config(self):
+        graph = default_stage_graph()
+        rule = graph.edges(FlowConfig(opc_mode="rule"))
+        selective = graph.edges(FlowConfig(opc_mode="selective"))
+        assert ("tag_critical", "opc") not in rule
+        assert ("tag_critical", "opc") in selective
+        assert ("place", "sta_drawn") in rule
+
+    def test_artifact_producers_unique_and_complete(self):
+        producers = default_stage_graph().artifact_producers()
+        assert producers["placement"] == "place"
+        assert producers["drawn_sta"] == "sta_drawn"
+        assert producers["mask_polygons"] == "opc"
+        assert producers["measurements"] == "metrology"
+        assert producers["derates"] == "back_annotate"
+
+    def test_ready_set_frontier(self):
+        graph = default_stage_graph()
+        config = FlowConfig(opc_mode="rule")
+        first = [s.name for s in graph.ready_set(config, set())]
+        assert first == ["place"]
+        second = [s.name for s in graph.ready_set(config, {"place"})]
+        # opc only needs the placement in rule mode, so it is ready
+        # alongside the drawn STA — the branch the scheduler overlaps.
+        assert second == ["sta_drawn", "opc"]
+
+    def test_ready_set_selective_gates_opc_on_tagging(self):
+        graph = default_stage_graph()
+        config = FlowConfig(opc_mode="selective")
+        names = [s.name for s in graph.ready_set(config, {"place"})]
+        assert "opc" not in names
+
+    def test_stage_lookup(self):
+        graph = default_stage_graph()
+        assert graph.stage("opc").name == "opc"
+        with pytest.raises(KeyError):
+            graph.stage("nonexistent")
+
+
+class TestValidationErrors:
+    def test_missing_producer(self):
+        graph = StageGraph([_stage("a"), _stage("b", requires=("ghost",))])
+        with pytest.raises(GraphValidationError) as excinfo:
+            graph.validate(FlowConfig())
+        assert excinfo.value.kind == "missing-producer"
+        assert "ghost" in str(excinfo.value)
+
+    def test_duplicate_producer(self):
+        graph = StageGraph([
+            _stage("a", provides=("x",)),
+            _stage("b", provides=("x",)),
+        ])
+        with pytest.raises(GraphValidationError) as excinfo:
+            graph.validate(FlowConfig())
+        assert excinfo.value.kind == "duplicate-producer"
+
+    def test_cycle(self):
+        graph = StageGraph([
+            _stage("a", requires=("b",)),
+            _stage("b", requires=("a",)),
+            _stage("c"),
+        ])
+        with pytest.raises(GraphValidationError) as excinfo:
+            graph.validate(FlowConfig())
+        assert excinfo.value.kind == "cycle"
+        # the stuck stages are named; the acyclic one is not
+        assert "'a'" in str(excinfo.value) and "'b'" in str(excinfo.value)
+        assert "'c'" not in str(excinfo.value)
+
+    def test_taxonomy_placement(self):
+        err = GraphValidationError("cycle", "boom")
+        assert isinstance(err, InputValidationError)
+        assert isinstance(err, ValueError)
+        assert err.exit_code == EXIT_VALIDATION
+
+    def test_duplicate_stage_name_rejected(self):
+        with pytest.raises(ValueError):
+            StageGraph([_stage("a"), _stage("a")])
+
+    def test_nameless_stage_rejected(self):
+        with pytest.raises(ValueError):
+            StageGraph([_stage("")])

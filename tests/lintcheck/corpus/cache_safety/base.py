@@ -13,6 +13,9 @@ class FlowStage:
     def requires(self, config):
         return ()
 
+    def provides(self):
+        return ()
+
     def config_slice(self, flow, config):
         return None
 

@@ -3,6 +3,7 @@
 ``HiddenReadStage`` launders a flow read and a config read through two
 helper functions and pulls an artifact nothing produces;
 ``SkipsParentStage`` reads an artifact whose producer it never declared.
+``EdgeLiarStage`` lies in both directions of the provides() contract.
 ``CleanStage`` declares everything it touches and must NOT fire.
 """
 
@@ -24,6 +25,9 @@ class HiddenReadStage(FlowStage):
     def config_slice(self, flow, config):
         return None  # exposes nothing, yet run() reads config.secret
 
+    def provides(self):
+        return ("hidden",)
+
     def run(self, flow, config, artifacts, counters, context):
         ghost = artifacts["ghost"]  # finding: no stage produces "ghost"
         return {"hidden": _scale(flow, config) + ghost}
@@ -36,9 +40,28 @@ class SkipsParentStage(FlowStage):
     def config_slice(self, flow, config):
         return ()
 
+    def provides(self):
+        return ("skipped",)
+
     def run(self, flow, config, artifacts, counters, context):
         # finding: produced by "hidden_read", which requires() omits
         return {"skipped": artifacts["hidden"] + 1}
+
+
+class EdgeLiarStage(FlowStage):
+    name = "edge_liar"
+    version = 1
+
+    def config_slice(self, flow, config):
+        return ()
+
+    def provides(self):
+        # finding: "phantom" is declared but run() never returns it
+        return ("real", "phantom")
+
+    def run(self, flow, config, artifacts, counters, context):
+        # finding: "extra" is returned but provides() never declares it
+        return {"real": 1, "extra": 2}
 
 
 class CleanStage(FlowStage):
@@ -50,6 +73,9 @@ class CleanStage(FlowStage):
 
     def config_slice(self, flow, config):
         return (config.gain,)
+
+    def provides(self):
+        return ("scaled",)
 
     def run(self, flow, config, artifacts, counters, context):
         # ok: parent declared, config exposed, flow read fingerprint-covered

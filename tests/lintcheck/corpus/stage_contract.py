@@ -24,5 +24,8 @@ class CompliantStage(FlowStage):  # ok
     name = "compliant"
     version = 3
 
+    def provides(self):
+        return ("artifact",)
+
     def run(self, flow, config, artifacts, counters, context):
         return {"artifact": 1}

@@ -37,7 +37,8 @@ class TestExitCodes:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("unseeded-rng", "hash-entropy", "unordered-iteration",
-                        "stage-contract", "broad-except", "mutable-default",
+                        "stage-contract", "stage-edge-contract",
+                        "broad-except", "mutable-default",
                         "cache-undeclared-input", "stale-version",
                         "entropy-taint"):
             assert rule_id in out
@@ -69,8 +70,8 @@ class TestCorpus:
         fired = {finding.rule for finding in findings}
         assert fired == {
             "unseeded-rng", "hash-entropy", "unordered-iteration",
-            "stage-contract", "broad-except", "mutable-default",
-            "cache-undeclared-input", "entropy-taint",
+            "stage-contract", "stage-edge-contract", "broad-except",
+            "mutable-default", "cache-undeclared-input", "entropy-taint",
         }
 
     def test_waived_file_is_clean(self):

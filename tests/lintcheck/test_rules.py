@@ -311,8 +311,9 @@ class TestEngine:
         assert ids == sorted(ids)
         assert set(ids) == {
             "broad-except", "hash-entropy", "mutable-default",
-            "stage-contract", "unordered-iteration", "unseeded-rng",
-            "cache-undeclared-input", "stale-version", "entropy-taint",
+            "stage-contract", "stage-edge-contract", "unordered-iteration",
+            "unseeded-rng", "cache-undeclared-input", "stale-version",
+            "entropy-taint",
         }
 
     def test_decorator_line_waiver_covers_decorated_statement(self):
