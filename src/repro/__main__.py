@@ -27,6 +27,7 @@ from repro.circuits import (
     kogge_stone_adder,
     random_logic,
     ripple_carry_adder,
+    structured_asic,
     testchip,
 )
 from repro.pdk import make_tech_90nm
@@ -40,10 +41,16 @@ DESIGNS = {
     "mult4": lambda lib: array_multiplier(4),
     "rand80": lambda lib: random_logic(80, n_inputs=10, seed=3),
     "testchip": lambda lib: testchip(bits=3, random_gates=24),
+    "fabric1k": lambda lib: structured_asic(1000),
+    "fabric3k": lambda lib: structured_asic(3000),
 }
 
 
-def _make_design(name: str, library):
+def _make_design(name: str, library, design_size=None):
+    if design_size is not None:
+        # --design-size overrides --design: an exactly-sized structured-ASIC
+        # vehicle (seeded, so the same size is the same netlist every run).
+        return structured_asic(design_size)
     if name not in DESIGNS:
         raise SystemExit(f"unknown design {name!r}; choose from {sorted(DESIGNS)}")
     return DESIGNS[name](library)
@@ -100,7 +107,7 @@ def cmd_flow(args) -> int:
 
     tech = make_tech_90nm()
     library = build_library(tech)
-    netlist = _make_design(args.design, library)
+    netlist = _make_design(args.design, library, args.design_size)
     context, executor = _make_flow_engine(args)
     flow = PostOpcTimingFlow(netlist, tech, cells=library,
                              executor=executor, context=context)
@@ -108,7 +115,9 @@ def cmd_flow(args) -> int:
     # stage (one STA, served from the artifact cache — not a warm-up run).
     config = FlowConfig(opc_mode=args.opc, clock_period_ps=args.period,
                         n_critical_paths=args.paths,
-                        max_quarantine_fraction=args.max_quarantine_fraction)
+                        max_quarantine_fraction=args.max_quarantine_fraction,
+                        litho_shards=args.litho_shards,
+                        incremental_sta=not args.full_sta)
     journal = _open_journal(args, flow, config, "flow")
     scheduler = None
     if getattr(args, "async_dag", False):
@@ -161,7 +170,7 @@ def cmd_sweep(args) -> int:
 
     tech = make_tech_90nm()
     library = build_library(tech)
-    netlist = _make_design(args.design, library)
+    netlist = _make_design(args.design, library, args.design_size)
     context, executor = _make_flow_engine(args)
     flow = PostOpcTimingFlow(netlist, tech, cells=library,
                              executor=executor, context=context)
@@ -169,6 +178,8 @@ def cmd_sweep(args) -> int:
         opc_mode="none", clock_period_ps=args.period,
         n_critical_paths=args.paths,
         max_quarantine_fraction=args.max_quarantine_fraction,
+        litho_shards=args.litho_shards,
+        incremental_sta=not args.full_sta,
     )
     journal = _open_journal(args, flow, base, "sweep")
     try:
@@ -371,6 +382,24 @@ def cmd_lint(args) -> int:
     )
 
 
+def _add_scale_args(sub) -> None:
+    """Large-vehicle knobs shared by flow/sweep."""
+    sub.add_argument("--design-size", type=int, default=None, metavar="GATES",
+                     help="ignore --design and run a deterministic "
+                          "structured-ASIC vehicle with exactly this many "
+                          "gates (e.g. 3000)")
+    sub.add_argument("--litho-shards", type=int, default=0, metavar="N",
+                     help="shard metrology into at least N large overlapping "
+                          "litho windows instead of per-gate tiles "
+                          "(0 = classic tile path); results are "
+                          "bit-identical between serial and parallel "
+                          "execution of the same shard plan")
+    sub.add_argument("--full-sta", action="store_true",
+                     help="recompute the post-OPC STA from scratch instead "
+                          "of incrementally re-timing the drawn STA "
+                          "(same result, slower; for cross-checking)")
+
+
 def _add_scheduler_args(sub) -> None:
     """Async DAG scheduler knobs shared by flow/sweep."""
     sub.add_argument("--async", dest="async_dag", action="store_true",
@@ -422,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--paths", type=int, default=5)
     flow.add_argument("--jobs", type=int, default=1,
                       help="parallel workers for the OPC/metrology tile loops")
+    _add_scale_args(flow)
     _add_scheduler_args(flow)
     _add_durability_args(flow)
     flow.add_argument("--trace", default=None,
@@ -437,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clock period (ps); default derives it from the drawn STA")
     sweep.add_argument("--paths", type=int, default=5)
     sweep.add_argument("--jobs", type=int, default=1)
+    _add_scale_args(sweep)
     _add_scheduler_args(sweep)
     _add_durability_args(sweep)
     sweep.add_argument("--trace", default=None,

@@ -4,6 +4,7 @@ from repro.circuits.netlist import Gate, Netlist
 from repro.circuits.bench import C17_BENCH, parse_bench, write_bench
 from repro.circuits.verilog import parse_verilog, write_verilog
 from repro.circuits.testchip import testchip
+from repro.circuits.fabric import structured_asic
 from repro.circuits.generators import (
     array_multiplier,
     kogge_stone_adder,
@@ -30,4 +31,5 @@ __all__ = [
     "parse_verilog",
     "write_verilog",
     "testchip",
+    "structured_asic",
 ]

@@ -1,0 +1,146 @@
+"""Structured-ASIC fabric generator.
+
+The scale vehicles for the post-OPC flow: a seeded, size-parameterized
+registered pipeline in the shape of a structured-ASIC logic fabric —
+an input register bank, ``n_stages`` combinational stages built from
+local-connectivity clusters (with a few cross-cluster links for
+reconvergent fanout), and a register bank between stages.  Construction
+is purely feed-forward inside each stage, so the netlist is acyclic by
+construction and fully deterministic for a given parameter set.
+
+Register banks matter for the incremental-STA story: they bound the
+fan-out cones of per-gate CD updates, which is what makes cone-limited
+re-timing cheap on multi-thousand-gate designs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.circuits.netlist import Netlist
+
+#: (cell base name, pin list) with selection weights: the mix leans on the
+#: 2-input cells like the related repos' mapped fabrics do.
+_CELL_MIX = (
+    ("INV", ("A",), 1.0),
+    ("BUF", ("A",), 0.5),
+    ("NAND2", ("A", "B"), 2.5),
+    ("NOR2", ("A", "B"), 2.5),
+    ("XOR2", ("A", "B"), 1.5),
+    ("XNOR2", ("A", "B"), 1.0),
+    ("NAND3", ("A", "B", "C"), 1.0),
+    ("NOR3", ("A", "B", "C"), 1.0),
+    ("AOI21", ("A1", "A2", "B"), 1.0),
+    ("OAI21", ("A1", "A2", "B"), 1.0),
+)
+_MIX_TOTAL = sum(w for _, _, w in _CELL_MIX)
+
+
+def _pick_cell(rng: random.Random) -> tuple:
+    shot = rng.uniform(0.0, _MIX_TOTAL)
+    acc = 0.0
+    for base, pins, weight in _CELL_MIX:
+        acc += weight
+        if shot <= acc:
+            return base, pins
+    return _CELL_MIX[-1][:2]
+
+
+def structured_asic(
+    n_gates: int,
+    n_inputs: int = 16,
+    n_stages: Optional[int] = None,
+    cluster_size: int = 24,
+    bank_width: Optional[int] = None,
+    seed: int = 1,
+    drive: int = 1,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A seeded structured-ASIC-style pipeline with exactly ``n_gates``
+    instances (register banks included).
+
+    ``n_stages`` defaults to one pipeline stage per ~300 combinational
+    gates (at least 4): large fabrics are deeper, not just wider, which
+    keeps each stage's logic — and therefore the register-bounded cone of
+    an incremental re-time — roughly constant as designs grow.
+    ``bank_width`` is the register count per pipeline bank; by default it
+    grows with the design (~4% flops) but never below ``n_inputs``.
+    Combinational gates are grouped into clusters of ``cluster_size`` that
+    draw mostly on nets created inside the same cluster (placement
+    locality), with occasional links to earlier clusters in the same
+    stage (reconvergent fanout across cluster boundaries).
+    """
+    if n_gates < 1:
+        raise ValueError("fabric needs at least 1 gate")
+    if n_stages is None:
+        n_stages = max(4, n_gates // 300)
+    if n_inputs < 4 or n_stages < 1 or cluster_size < 2:
+        # >= 4 inputs keeps every sampling pool larger than the widest
+        # cell's pin count (3), so connections stay distinct.
+        raise ValueError("need n_inputs >= 4, n_stages >= 1, cluster_size >= 2")
+    if bank_width is None:
+        bank_width = max(n_inputs, n_gates // (25 * (n_stages + 1)))
+    flops = (n_stages + 1) * bank_width
+    comb_budget = n_gates - flops
+    if comb_budget < n_stages:
+        raise ValueError(
+            f"n_gates={n_gates} leaves no combinational budget: "
+            f"{n_stages + 1} banks x {bank_width} flops need {flops} gates"
+        )
+
+    rng = random.Random(seed)
+    netlist = Netlist(name or f"fab{n_gates}")
+    netlist.add_input("ck")
+    for i in range(n_inputs):
+        netlist.add_input(f"in{i}")
+
+    def register_bank(bank: int, d_nets: List[str]) -> List[str]:
+        q_nets = []
+        for i, d_net in enumerate(d_nets):
+            q = f"b{bank}_q{i}"
+            netlist.add_gate(f"b{bank}_ff{i}", f"DFF_X{drive}",
+                             {"D": d_net, "CK": "ck", "Q": q})
+            q_nets.append(q)
+        return q_nets
+
+    # Input bank: primary inputs cycled across the bank width.
+    stage_inputs = register_bank(
+        0, [f"in{i % n_inputs}" for i in range(bank_width)])
+
+    counter = 0
+    for stage in range(n_stages):
+        # Spread the remaining budget evenly over the remaining stages.
+        stage_budget = comb_budget // (n_stages - stage)
+        comb_budget -= stage_budget
+        capture: List[str] = []  # candidate D nets for the next bank
+        built = 0
+        cluster = 0
+        prior_outputs: List[str] = []  # cross-cluster link candidates
+        while built < stage_budget:
+            size = min(cluster_size, stage_budget - built)
+            local = rng.sample(stage_inputs, min(6, len(stage_inputs)))
+            if prior_outputs:  # reconvergence across clusters
+                local += rng.sample(prior_outputs,
+                                    min(2, len(prior_outputs)))
+            for _ in range(size):
+                base, pins = _pick_cell(rng)
+                out = f"s{stage}_w{counter}"
+                counter += 1
+                pool = local if len(local) >= len(pins) else stage_inputs
+                conns = dict(zip(pins, rng.sample(pool, len(pins))))
+                conns["Z"] = out
+                netlist.add_gate(f"s{stage}_c{cluster}_g{built}",
+                                 f"{base}_X{drive}", conns)
+                local.append(out)
+                built += 1
+            capture.append(local[-1])  # deepest net of the cluster
+            prior_outputs.extend(local[-3:])
+            cluster += 1
+        # Next bank captures cluster outputs, cycled to fill the width.
+        stage_inputs = register_bank(
+            stage + 1, [capture[i % len(capture)] for i in range(bank_width)])
+
+    for q_net in stage_inputs:
+        netlist.add_output(q_net)
+    return netlist

@@ -25,7 +25,18 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple, cast
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
 if TYPE_CHECKING:
     from repro.flow.journal import InterruptGuard, RunJournal
@@ -55,12 +66,15 @@ from repro.pdk import Layers, Technology
 from repro.place import Placement, instance_gate_rects, place_rows
 from repro.place.assembler import GateRectMap
 from repro.timing import (
+    InstanceDerate,
     StaEngine,
     StaResult,
+    TimingConstraints,
     TimingPath,
     characterize_library,
     top_paths,
 )
+from repro.timing.incremental import retime as retime_sta
 from repro.variation import DoseDefocusMap
 
 OPC_MODES = ("none", "rule", "model", "selective")
@@ -90,6 +104,15 @@ class FlowConfig:
     #: quarantined back to drawn CDs; below it the run completes with a
     #: degraded coverage fraction stamped on the report
     max_quarantine_fraction: float = 0.5
+    #: 0 keeps the classic 512-px metrology tile path; >= 1 shards the
+    #: layout into at least that many large halo-amortized windows (the
+    #: scale path — measurements differ slightly from the tile path
+    #: because the FFT window geometry differs, so this is a cache key)
+    litho_shards: int = 0
+    #: re-time the post-OPC STA incrementally from the drawn STA
+    #: (cone-limited, bit-identical to a full run); False forces the
+    #: full engine run
+    incremental_sta: bool = True
 
     def __post_init__(self) -> None:
         # InputValidationError subclasses ValueError, so pre-taxonomy
@@ -114,6 +137,11 @@ class FlowConfig:
             raise InputValidationError(
                 "max_quarantine_fraction",
                 f"must be in [0, 1], got {self.max_quarantine_fraction}",
+            )
+        if self.litho_shards < 0:
+            raise InputValidationError(
+                "litho_shards",
+                f"must be >= 0 (0 = tile path), got {self.litho_shards}",
             )
 
 
@@ -485,6 +513,30 @@ class PostOpcTimingFlow:
         if counters is not None:
             counters["opc_tiles"] = len(tasks)
         return out
+
+    # -- incremental re-timing ------------------------------------------------
+
+    def retime(
+        self,
+        previous: StaResult,
+        old_derates: Mapping[str, InstanceDerate],
+        new_derates: Mapping[str, InstanceDerate],
+        config: Optional[FlowConfig] = None,
+    ) -> StaResult:
+        """Cone-limited re-timing of a what-if derate change.
+
+        Updates ``previous`` (an STA computed under ``old_derates``) for
+        ``new_derates``, re-propagating only the fan-out cones of the
+        instances whose derate actually changed — bit-identical to a full
+        :meth:`StaEngine.run` at ``previous.clock_period_ps``, typically
+        orders of magnitude faster when few gates changed.  ``config``
+        only selects the engine (``use_routing``); the constraints are
+        inherited from ``previous``.
+        """
+        config = config or FlowConfig()
+        engine = self._engine_for(config)
+        constraints = TimingConstraints(clock_period_ps=previous.clock_period_ps)
+        return retime_sta(engine, previous, old_derates, new_derates, constraints)
 
     # -- the full pipeline ----------------------------------------------------
 

@@ -51,6 +51,8 @@ _WIRE_CONFIG_FIELDS = (
     "n_slices",
     "use_routing",
     "max_quarantine_fraction",
+    "litho_shards",
+    "incremental_sta",
 )
 
 

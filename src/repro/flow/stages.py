@@ -39,13 +39,16 @@ from repro.metrology.gate_cd import (
     plan_metrology_tiles,
     quarantine_measurements,
 )
+from repro.metrology.shard import plan_metrology_shards
 from repro.opc import RuleOpcRecipe
 from repro.timing import (
     TimingConstraints,
     derates_from_measurements,
+    diff_derates,
     instance_leakage,
     quarantine_derates,
     run_hold,
+    run_incremental,
 )
 
 if TYPE_CHECKING:
@@ -236,10 +239,20 @@ class OpcStage(FlowStage):
 
 
 class MetrologyStage(FlowStage):
-    """Tiled litho simulation + per-transistor printed-CD extraction."""
+    """Litho simulation + per-transistor printed-CD extraction.
+
+    Two window plans: the classic 512-px tile decomposition, or — when
+    ``config.litho_shards`` is set — large halo-amortized shard windows
+    (:mod:`repro.metrology.shard`), which image the same layout with far
+    less redundant ambit work.  Either plan fans out through the flow's
+    executor; serial and parallel dispatch of one plan are bit-identical.
+    The two plans measure slightly different CD values (different FFT
+    window geometry), which is why the shard count is in the config slice.
+    """
 
     name = "metrology"
-    version = 2  # v2: quarantines unsound measurements, emits cd_quarantine
+    # v2: quarantines unsound measurements, emits cd_quarantine
+    version = 3  # v3: optional shard-planned windows (config.litho_shards)
 
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
         return ("place", "opc")
@@ -248,7 +261,8 @@ class MetrologyStage(FlowStage):
         return ("measurements", "cd_quarantine")
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
-        return (config.condition, config.n_slices, config.process_map)
+        return (config.condition, config.n_slices, config.process_map,
+                config.litho_shards)
 
     def run(
         self,
@@ -266,14 +280,26 @@ class MetrologyStage(FlowStage):
                 return process_map.condition_at(*interior.center.as_tuple())
 
             condition_fn = _map_condition
-        tasks = plan_metrology_tiles(
-            flow.simulator,
-            artifacts["mask_polygons"],
-            flow.gate_rects,
-            condition=config.condition,
-            n_slices=config.n_slices,
-            condition_fn=condition_fn,
-        )
+        if config.litho_shards:
+            tasks = plan_metrology_shards(
+                flow.simulator,
+                artifacts["mask_polygons"],
+                flow.gate_rects,
+                shards=config.litho_shards,
+                condition=config.condition,
+                n_slices=config.n_slices,
+                condition_fn=condition_fn,
+            )
+            counters["litho_shards"] = len(tasks)
+        else:
+            tasks = plan_metrology_tiles(
+                flow.simulator,
+                artifacts["mask_polygons"],
+                flow.gate_rects,
+                condition=config.condition,
+                n_slices=config.n_slices,
+                condition_fn=condition_fn,
+            )
         tile_results = flow.executor.map_chunks(
             measure_tile_chunk, flow.simulator, tasks, counters=counters
         )
@@ -326,19 +352,29 @@ class BackAnnotateStage(FlowStage):
 
 
 class PostStaStage(FlowStage):
-    """Post-OPC STA with back-annotated derates (canonical period)."""
+    """Post-OPC STA with back-annotated derates (canonical period).
+
+    By default the stage re-times *incrementally* from the drawn STA:
+    only the fan-out cones of the derated instances are re-propagated
+    (:func:`repro.timing.run_incremental`), which is bit-identical to the
+    full engine run — the parity tests enforce it — and far cheaper when
+    selective OPC touched few gates.  ``config.incremental_sta = False``
+    forces the classic full run.
+    """
 
     name = "sta_post"
-    version = 1
+    version = 2  # v2: cone-limited incremental re-time from the drawn STA
 
     def requires(self, config: "FlowConfig") -> Tuple[str, ...]:
+        if config.incremental_sta:
+            return ("place", "sta_drawn", "back_annotate")
         return ("place", "back_annotate")
 
     def provides(self) -> Tuple[str, ...]:
         return ("post_sta",)
 
     def config_slice(self, flow: "PostOpcTimingFlow", config: "FlowConfig") -> Any:
-        return (config.use_routing,)
+        return (config.use_routing, config.incremental_sta)
 
     def run(
         self,
@@ -349,10 +385,18 @@ class PostStaStage(FlowStage):
         context: FlowContext,
     ) -> Dict[str, Any]:
         engine = flow._engine_for(config)
-        sta = engine.run(
-            TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS),
-            artifacts["derates"],
-        )
+        constraints = TimingConstraints(clock_period_ps=CANONICAL_PERIOD_PS)
+        derates = artifacts["derates"]
+        if config.incremental_sta:
+            # The drawn STA ran derate-free under the same constraints, so
+            # the change set is every instance with a non-identity derate.
+            changed = diff_derates({}, derates)
+            sta = run_incremental(
+                engine, artifacts["drawn_sta"], changed, constraints, derates
+            )
+            counters["retimed_instances"] = len(changed)
+        else:
+            sta = engine.run(constraints, derates)
         counters["endpoints"] = len(sta.endpoints)
         return {"post_sta": sta}
 

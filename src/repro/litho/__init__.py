@@ -23,6 +23,15 @@ from repro.litho.imaging import AerialImage, OpticalModel
 from repro.litho.resist import ProcessCondition, ResistModel
 from repro.litho.contour import marching_squares
 from repro.litho.simulator import LithographySimulator, TileSpec
+from repro.litho.shard import (
+    DEFAULT_MAX_SHARD_PX,
+    ShardContourTask,
+    ShardGrid,
+    plan_shard_contours,
+    plan_shard_grid,
+    shard_contour_chunk,
+    stitched_printed_contours,
+)
 from repro.litho.window import BossungData, ProcessWindow, bossung_data, extract_process_window
 from repro.litho.metrics import (
     dose_latitude_percent,
@@ -44,6 +53,13 @@ __all__ = [
     "marching_squares",
     "LithographySimulator",
     "TileSpec",
+    "DEFAULT_MAX_SHARD_PX",
+    "ShardGrid",
+    "ShardContourTask",
+    "plan_shard_grid",
+    "plan_shard_contours",
+    "shard_contour_chunk",
+    "stitched_printed_contours",
     "nils_at_edge",
     "grating_nils",
     "grating_meef",

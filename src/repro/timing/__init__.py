@@ -11,11 +11,22 @@ from repro.timing.derate import (
     instance_leakage,
     quarantine_derates,
 )
-from repro.timing.mc import CornerSpec, MonteCarloResult, run_corners, run_monte_carlo
+from repro.timing.mc import (
+    CornerSpec,
+    MonteCarloResult,
+    compose_derates,
+    run_corners,
+    run_monte_carlo,
+)
 from repro.timing.hold import HoldEndpoint, HoldResult, run_hold
 from repro.timing.report import report_summary, report_timing
 from repro.timing.liberty_writer import write_liberty
-from repro.timing.incremental import affected_gates, run_incremental
+from repro.timing.incremental import (
+    affected_gates,
+    diff_derates,
+    retime,
+    run_incremental,
+)
 
 __all__ = [
     "TimingTable",
@@ -44,5 +55,8 @@ __all__ = [
     "report_summary",
     "write_liberty",
     "affected_gates",
+    "compose_derates",
+    "diff_derates",
+    "retime",
     "run_incremental",
 ]

@@ -93,6 +93,29 @@ class MonteCarloResult:
         return ordered[min(index, len(ordered) - 1)]
 
 
+#: ``cos(u)*cos(v)`` over independent uniform phases has mean-square 1/4
+#: (E[cos^2] = 1/2 per axis), so the raw wave would deliver a per-gate
+#: correlated sigma of sigma_correlated/2.  Scaling the wave by 2 restores
+#: E[(amplitude * wave)^2] = sigma_correlated^2 exactly.
+_CORRELATED_WAVE_NORM = 2.0
+
+
+def compose_derates(prior: InstanceDerate, sampled: InstanceDerate) -> InstanceDerate:
+    """Multiplicative composition of two per-instance derates.
+
+    Scales multiply; ``failed`` is sticky — a catastrophic printability
+    fault from either contribution survives composition.  (An earlier
+    inline composition kept only ``prior.failed``, silently un-failing a
+    failed sampled instance whenever base derates were present.)
+    """
+    return InstanceDerate(
+        delay_rise_scale=prior.delay_rise_scale * sampled.delay_rise_scale,
+        delay_fall_scale=prior.delay_fall_scale * sampled.delay_fall_scale,
+        cap_scale=prior.cap_scale * sampled.cap_scale,
+        failed=prior.failed or sampled.failed,
+    )
+
+
 def derate_for_delta_l(cell: StandardCell, delta_l: float, model: AlphaPowerModel) -> InstanceDerate:
     """Derate for a uniform gate-length shift of one instance."""
     length = cell.transistors[0].length
@@ -140,7 +163,10 @@ def sample_instance_deltas(
 
     The correlated component is a smooth random field over placement
     coordinates (two cosine harmonics with random phase — cheap, bounded,
-    and spatially smooth); the random component is i.i.d. per instance.
+    and spatially smooth), normalized by ``_CORRELATED_WAVE_NORM`` so the
+    delivered per-gate variance is exactly ``sigma_correlated_nm**2``
+    (marginally over the phases); the random component is i.i.d. per
+    instance.
     """
     rng = random.Random(spec.seed * 1_000_003 + sample_index)
     phase_x = rng.uniform(0, 2 * math.pi)
@@ -154,7 +180,7 @@ def sample_instance_deltas(
             wave = math.cos(
                 2 * math.pi * center.x / spec.correlation_length_nm + phase_x
             ) * math.cos(2 * math.pi * center.y / spec.correlation_length_nm + phase_y)
-            correlated = amplitude * wave
+            correlated = amplitude * _CORRELATED_WAVE_NORM * wave
         elif spec.sigma_correlated_nm > 0:
             correlated = amplitude  # fully shared when no placement given
         deltas[gate_name] = spec.mean_nm + correlated + rng.gauss(0.0, spec.sigma_random_nm)
@@ -188,12 +214,7 @@ def run_monte_carlo(
             if prior is None:
                 derates[gate.name] = sampled
             else:
-                derates[gate.name] = InstanceDerate(
-                    delay_rise_scale=prior.delay_rise_scale * sampled.delay_rise_scale,
-                    delay_fall_scale=prior.delay_fall_scale * sampled.delay_fall_scale,
-                    cap_scale=prior.cap_scale * sampled.cap_scale,
-                    failed=prior.failed,
-                )
+                derates[gate.name] = compose_derates(prior, sampled)
         sta = engine.run(constraints, derates)
         result.wns_samples.append(sta.wns)
         result.critical_delay_samples.append(sta.critical_delay)

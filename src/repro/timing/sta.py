@@ -157,6 +157,10 @@ class StaEngine:
         self.wire_model = wire_model if wire_model is not None else WireModel()
         self._order = netlist.topological_gates(cells)
         self._loads = self._build_load_map()
+        self._driver_by_net: Dict[str, str] = {
+            gate.connections[cells[gate.cell_name].output]: gate.name
+            for gate in netlist.gates.values()
+        }
         # Wire lengths: realised routes if provided, HPWL estimate otherwise.
         if net_lengths is not None:
             self._hpwl = dict(net_lengths)
@@ -190,6 +194,15 @@ class StaEngine:
             ys = [p.y for p in pts]
             lengths[net] = (max(xs) - min(xs)) + (max(ys) - min(ys))
         return lengths
+
+    def driver_name_of(self, net: str) -> Optional[str]:
+        """Name of the gate driving ``net`` (None for primary inputs).
+
+        O(1) via a map precomputed at construction — the Netlist-level
+        ``driver_of`` scans every gate per query, which turns incremental
+        cone extraction quadratic on multi-thousand-gate designs.
+        """
+        return self._driver_by_net.get(net)
 
     def net_load_ff(
         self,

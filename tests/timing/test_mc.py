@@ -1,19 +1,33 @@
-"""Regression tests for MonteCarloResult statistics.
+"""Regression tests for Monte-Carlo statistical timing.
 
 Pins the empty-result behaviour (a clear ``ValueError("no samples")``
-instead of ``ZeroDivisionError``/bare ``ValueError`` from the arithmetic)
-and the nearest-rank percentile definition (the old ``int`` truncation
-was biased one order statistic high).
+instead of ``ZeroDivisionError``/bare ``ValueError`` from the arithmetic),
+the nearest-rank percentile definition (the old ``int`` truncation was
+biased one order statistic high), the sticky ``failed`` flag through
+derate composition (an earlier inline composition dropped
+``sampled.failed`` whenever base derates were present), and the
+correlated-field normalization (the raw ``cos*cos`` wave delivered only
+half the requested correlated sigma).
 """
+
+import math
+import statistics
 
 import pytest
 
 from repro.cells import build_library
-from repro.circuits import inverter_chain
+from repro.circuits import inverter_chain, structured_asic
 from repro.device import AlphaPowerModel
 from repro.pdk import make_tech_90nm
-from repro.timing import StaEngine, characterize_library, run_monte_carlo
-from repro.timing.mc import MonteCarloResult
+from repro.place import place_rows
+from repro.timing import (
+    InstanceDerate,
+    StaEngine,
+    characterize_library,
+    compose_derates,
+    run_monte_carlo,
+)
+from repro.timing.mc import CdVariationSpec, MonteCarloResult, sample_instance_deltas
 
 
 @pytest.fixture(scope="module")
@@ -86,3 +100,102 @@ class TestNearestRankPercentile:
         assert ten.mean_wns == pytest.approx(5.5)
         assert ten.min_wns == 1.0
         assert ten.sigma_wns == pytest.approx(2.8722813, rel=1e-6)
+
+
+class TestComposeDerates:
+    def test_scales_multiply(self):
+        a = InstanceDerate(delay_rise_scale=1.1, delay_fall_scale=1.2,
+                           cap_scale=1.3)
+        b = InstanceDerate(delay_rise_scale=0.9, delay_fall_scale=1.1,
+                           cap_scale=1.0)
+        c = compose_derates(a, b)
+        assert c.delay_rise_scale == pytest.approx(1.1 * 0.9)
+        assert c.delay_fall_scale == pytest.approx(1.2 * 1.1)
+        assert c.cap_scale == pytest.approx(1.3)
+        assert not c.failed
+
+    @pytest.mark.parametrize("prior,sampled,expect", [
+        (True, False, True),
+        (False, True, True),   # the regression: sampled.failed was dropped
+        (True, True, True),
+        (False, False, False),
+    ])
+    def test_failed_flag_is_sticky(self, prior, sampled, expect):
+        composed = compose_derates(InstanceDerate(failed=prior),
+                                   InstanceDerate(failed=sampled))
+        assert composed.failed is expect
+
+    def test_sampled_failure_survives_mc_with_base_derates(self):
+        """End-to-end regression: a base-derated instance whose sampled CD
+        collapses must stay failed inside run_monte_carlo."""
+        tech = make_tech_90nm()
+        lib = build_library(tech)
+        model = AlphaPowerModel(tech.device)
+        netlist = inverter_chain(3)
+        engine = StaEngine(netlist, lib, characterize_library(lib, model), None)
+        base = {name: InstanceDerate(delay_rise_scale=1.02,
+                                     delay_fall_scale=1.02)
+                for name in netlist.gates}
+        constraints = None
+        plain = run_monte_carlo(engine, model, samples=3, constraints=constraints)
+        with_base = run_monte_carlo(engine, model, samples=3,
+                                    constraints=constraints, base_derates=base)
+        # base derates slow every instance: every sample's WNS shrinks
+        for p, w in zip(plain.wns_samples, with_base.wns_samples):
+            assert w < p
+
+
+class TestCorrelatedFieldNormalization:
+    @pytest.fixture(scope="class")
+    def placed_fabric(self):
+        tech = make_tech_90nm()
+        lib = build_library(tech)
+        netlist = structured_asic(400, seed=5)
+        return netlist, place_rows(netlist, lib)
+
+    def test_correlated_sigma_delivered(self, placed_fabric):
+        """Over many samples, the per-gate delta variance must match
+        sigma_correlated^2 + sigma_random^2 — not the /4-deficient value
+        the unnormalized cos*cos wave delivered."""
+        netlist, placement = placed_fabric
+        spec = CdVariationSpec(mean_nm=0.0, sigma_random_nm=1.0,
+                               sigma_correlated_nm=3.0,
+                               correlation_length_nm=20_000.0, seed=9)
+        values = []
+        for index in range(400):
+            deltas = sample_instance_deltas(netlist, placement, spec, index)
+            values.extend(deltas.values())
+        sigma = statistics.pstdev(values)
+        expected = math.sqrt(spec.sigma_correlated_nm ** 2
+                             + spec.sigma_random_nm ** 2)
+        deficient = math.sqrt(spec.sigma_correlated_nm ** 2 / 4
+                              + spec.sigma_random_nm ** 2)
+        # well clear of the old /4-deficient sigma (~1.8 vs ~3.16)
+        assert sigma == pytest.approx(expected, rel=0.10)
+        assert abs(sigma - deficient) > 0.8
+
+    def test_zero_correlated_sigma_unaffected(self, placed_fabric):
+        netlist, placement = placed_fabric
+        spec = CdVariationSpec(sigma_random_nm=1.0, sigma_correlated_nm=0.0,
+                               seed=9)
+        deltas = sample_instance_deltas(netlist, placement, spec, 0)
+        sigma = statistics.pstdev(deltas.values())
+        assert sigma == pytest.approx(1.0, rel=0.2)
+
+    def test_spatially_smooth(self, placed_fabric):
+        """Neighbouring gates share most of their correlated component."""
+        netlist, placement = placed_fabric
+        spec = CdVariationSpec(sigma_random_nm=0.0, sigma_correlated_nm=2.0,
+                               correlation_length_nm=200_000.0, seed=3)
+        deltas = sample_instance_deltas(netlist, placement, spec, 1)
+        names = sorted(netlist.gates,
+                       key=lambda n: (placement.gates[n].bbox.center.y,
+                                      placement.gates[n].bbox.center.x))
+        diffs = []
+        for a, b in zip(names, names[1:]):
+            ca = placement.gates[a].bbox.center
+            cb = placement.gates[b].bbox.center
+            if ca.y == cb.y and abs(cb.x - ca.x) < 3000:  # same-row neighbours
+                diffs.append(abs(deltas[a] - deltas[b]))
+        spread = max(deltas.values()) - min(deltas.values())
+        assert diffs and max(diffs) < max(spread, 1e-9) * 0.2
