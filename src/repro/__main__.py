@@ -262,6 +262,11 @@ def cmd_serve(args) -> int:
             flows, max_queue=args.queue, workers=args.workers,
             run_root=args.run_root,
             max_concurrent_stages=args.max_concurrent_stages,
+            deadline_s=args.deadline,
+            stage_timeout_s=args.stage_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            drain_timeout_s=args.drain_timeout,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -270,7 +275,8 @@ def cmd_serve(args) -> int:
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):
                 pass  # non-UNIX loop: ctrl-C lands as KeyboardInterrupt
-        async with service:
+        await service.start()
+        try:
             if args.socket:
                 await service.serve_unix(args.socket)
                 print(f"serving on unix://{args.socket}")
@@ -284,6 +290,8 @@ def cmd_serve(args) -> int:
                   "(SIGINT/SIGTERM stops after running jobs settle)")
             await stop.wait()
             print("stopping: draining running jobs...")
+        finally:
+            await service.stop(drain_timeout=args.drain_timeout)
         return 0
 
     return asyncio.run(_serve())
@@ -505,6 +513,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry a failed worker chunk this many times")
     serve.add_argument("--chunk-timeout", type=float, default=None,
                        help="seconds before a worker chunk counts as failed")
+    serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="default per-job wall budget; past it the "
+                            "watchdog fails the job with exit code 2 "
+                            "(per-submit deadline_s overrides)")
+    serve.add_argument("--stage-timeout", type=float, default=None,
+                       metavar="S",
+                       help="hung-stage watchdog: fail a job whose journal "
+                            "is silent this long (needs --run-root)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="S",
+                       help="bound on shutdown: running jobs past this are "
+                            "cancelled instead of awaited forever")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures that open a design's "
+                            "circuit breaker (default 5)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds an open breaker rejects submits before "
+                            "admitting a half-open probe (default 30)")
     serve.set_defaults(func=cmd_serve)
 
     sta = sub.add_parser("sta", help="drawn-CD timing report")

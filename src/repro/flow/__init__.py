@@ -16,8 +16,14 @@ once with single-flight dedup through the shared context, and
 :class:`FlowService` (:mod:`repro.flow.service`) fronts it with a
 bounded-queue submit/status/result/report job API, in-process or over a
 local socket.
+
+Hardening lives in :mod:`repro.flow.chaos` (deterministic seeded fault
+injection: :class:`FaultPlan` threaded through the cache, journal, stage,
+chunk and socket layers) and the service's deadlines, hung-stage
+watchdog, per-design :class:`CircuitBreaker` and orphan-job recovery.
 """
 
+from repro.flow.chaos import ChaosError, FaultPlan, FaultSpec
 from repro.flow.context import FlowContext, SettleOutcome, stable_hash
 from repro.flow.errors import (
     EXIT_FAILURE,
@@ -37,7 +43,7 @@ from repro.flow.journal import InterruptGuard, RunJournal
 from repro.flow.parallel import FaultInjection, ParallelExecutor, split_chunks
 from repro.flow.postopc import FlowConfig, FlowReport, PostOpcTimingFlow
 from repro.flow.scheduler import StageScheduler
-from repro.flow.service import FlowService
+from repro.flow.service import CircuitBreaker, FlowService
 from repro.flow.stages import (
     FlowStage,
     StageGraph,
@@ -61,6 +67,10 @@ __all__ = [
     "StageGraph",
     "StageScheduler",
     "FlowService",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosError",
     "default_stage_graph",
     "stage_key",
     "settle_stage",

@@ -36,6 +36,8 @@ import pickle
 import re
 import threading
 from contextlib import contextmanager
+
+from repro.flow.chaos import FaultPlan
 from dataclasses import dataclass, fields, is_dataclass
 from typing import (
     Any,
@@ -152,7 +154,11 @@ class FlowContext:
         self,
         cache_dir: Optional[str] = None,
         max_disk_bytes: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        #: deterministic fault injection for the chaos harness
+        #: (:mod:`repro.flow.chaos`); None in production
+        self.fault_plan = fault_plan
         self._artifacts: Dict[str, Any] = {}
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
@@ -234,6 +240,11 @@ class FlowContext:
                 self._count("disk_corruptions")
                 self._drop_entry(key)
                 return MISSING
+            if (self.fault_plan is not None
+                    and self.fault_plan.trigger("disk-read", key) is not None):
+                # Chaos: flip bytes so the sidecar check below catches it —
+                # the real corruption path, not a shortcut around it.
+                payload = b"\x00chaos" + payload
             try:
                 with open(self._hash_path(key), "r") as fh:
                     expected = fh.read().strip()
@@ -266,6 +277,10 @@ class FlowContext:
             data_path = self._data_path(key)
             hash_path = self._hash_path(key)
             try:
+                if (self.fault_plan is not None
+                        and self.fault_plan.trigger("disk-write", key)
+                        is not None):
+                    raise OSError("chaos: injected disk write failure")
                 # Write via temp files + rename so a concurrent reader never
                 # sees a half-written payload (it would be caught by the hash
                 # check anyway, but would count as a spurious corruption).

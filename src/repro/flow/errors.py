@@ -80,12 +80,18 @@ class ServiceRejectedError(FlowError):
     malformed config all reject at submit time — the request never
     consumes scheduler capacity.  ``reason`` is machine-readable
     (``"queue-full"``, ``"unknown-design"``, ``"bad-config"``,
-    ``"stopped"``, ``"unknown-job"``, ``"failed-job"``).
+    ``"stopped"``, ``"unknown-job"``, ``"failed-job"``,
+    ``"circuit-open"``, ``"deadline"``, ``"timeout"``).
+    ``retry_after`` (seconds) is set when the rejection is transient —
+    today only ``circuit-open`` — so clients can back off precisely
+    instead of hammering the breaker.
     """
 
-    def __init__(self, reason: str, message: str) -> None:
+    def __init__(self, reason: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"[{reason}] {message}")
         self.reason = reason
+        self.retry_after = retry_after
 
 
 class StageError(FlowError):

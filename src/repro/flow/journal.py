@@ -30,9 +30,18 @@ import signal
 import threading
 import uuid
 from types import FrameType
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    TextIO,
+)
 
 if TYPE_CHECKING:
+    from repro.flow.chaos import FaultPlan
     from repro.flow.trace import StageRecord
 
 from repro.flow.errors import FlowInterrupted, InputValidationError
@@ -52,10 +61,17 @@ class RunJournal:
     FILENAME = "journal.jsonl"
     CACHE_SUBDIR = "cache"
 
-    def __init__(self, run_dir: str) -> None:
+    def __init__(self, run_dir: str,
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         self.run_dir = run_dir
         self.path = os.path.join(run_dir, self.FILENAME)
         self._fh: Optional[TextIO] = None
+        #: deterministic write-fault injection (chaos harness); None in
+        #: production
+        self.fault_plan = fault_plan
+        #: callbacks invoked with each successfully appended record — the
+        #: flow service hangs its hung-stage heartbeat off these
+        self._listeners: List[Callable[[Dict[str, Any]], None]] = []
         #: appends may come from scheduler worker threads concurrently;
         #: the lock keeps each JSON line whole
         self._write_lock = threading.Lock()
@@ -63,11 +79,12 @@ class RunJournal:
     # -- lifecycle -----------------------------------------------------------
 
     @classmethod
-    def create(cls, run_dir: str, manifest: Dict[str, Any]) -> "RunJournal":
+    def create(cls, run_dir: str, manifest: Dict[str, Any],
+               fault_plan: Optional["FaultPlan"] = None) -> "RunJournal":
         """Start a fresh journal; refuses a directory that already has one
         (pass ``--resume`` or pick a new directory instead of silently
         clobbering an earlier run's history)."""
-        journal = cls(run_dir)
+        journal = cls(run_dir, fault_plan=fault_plan)
         if journal.exists():
             raise InputValidationError(
                 "run_dir",
@@ -80,14 +97,15 @@ class RunJournal:
         return journal
 
     @classmethod
-    def resume(cls, run_dir: str, manifest: Dict[str, Any]) -> "RunJournal":
+    def resume(cls, run_dir: str, manifest: Dict[str, Any],
+               fault_plan: Optional["FaultPlan"] = None) -> "RunJournal":
         """Reopen an interrupted run, verifying it is the *same* run.
 
         The journaled fingerprint and config hash must match the current
         invocation — resuming with a different design or config would
         serve artifacts that do not belong to it.
         """
-        journal = cls(run_dir)
+        journal = cls(run_dir, fault_plan=fault_plan)
         if not journal.exists():
             raise InputValidationError(
                 "run_dir", f"{run_dir} has no journal to resume"
@@ -130,9 +148,20 @@ class RunJournal:
 
     # -- writing -------------------------------------------------------------
 
+    def add_listener(self, listener: Callable[[Dict[str, Any]], None]) -> None:
+        """Register a callback fired (outside the write lock) after each
+        successful append — the service's hung-stage watchdog listens here
+        for scheduler heartbeats.  Listener errors are swallowed: telemetry
+        must never fail the run."""
+        self._listeners.append(listener)
+
     def append(self, record_type: str, **payload: Any) -> Dict[str, Any]:
         """Append one record; flushed and fsynced so a kill -9 an instant
         later still finds it on disk."""
+        if (self.fault_plan is not None
+                and self.fault_plan.trigger("journal-write", record_type)
+                is not None):
+            raise OSError("chaos: injected journal write failure")
         record = {"type": record_type, **payload}
         with self._write_lock:
             if self._fh is None:
@@ -141,6 +170,12 @@ class RunJournal:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._fh.flush()
             os.fsync(self._fh.fileno())
+        for listener in list(self._listeners):
+            try:
+                listener(record)
+            # repro-lint: allow[broad-except] observability hook: a bad listener must not fail the journaled run
+            except Exception:
+                pass
         return record
 
     def record_stage(self, record: "StageRecord", key: str,
@@ -230,6 +265,20 @@ class RunJournal:
         terminal = [r for r in records
                     if r["type"] in ("interrupted", "complete", "failed")]
         return bool(terminal) and terminal[-1]["type"] == "interrupted"
+
+    def terminal_state(self) -> Optional[str]:
+        """``"complete"``/``"failed"`` if the run settled, else None.
+
+        A journal with no terminal record belongs to a run whose process
+        died (or is still running) — the service's orphan scan re-enqueues
+        those on startup.  ``interrupted`` is deliberately *not* terminal:
+        an interrupted run is resumable by contract.
+        """
+        state: Optional[str] = None
+        for record in self.records():
+            if record["type"] in ("complete", "failed"):
+                state = record["type"]
+        return state
 
 
 class InterruptGuard:

@@ -37,6 +37,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.flow.chaos import FaultPlan
 from repro.flow.errors import InputValidationError
 
 BACKENDS = ("serial", "thread", "process")
@@ -115,6 +116,7 @@ class ParallelExecutor:
         retries: int = 0,
         chunk_timeout: Optional[float] = None,
         fault_injection: Optional[FaultInjection] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         # InputValidationError subclasses ValueError: pre-taxonomy callers
         # catching ValueError keep working, the CLI maps it to exit code 3.
@@ -135,6 +137,11 @@ class ParallelExecutor:
         self.retries = retries
         self.chunk_timeout = chunk_timeout
         self.fault_injection = fault_injection
+        #: chaos-harness fault plan; ``chunk`` faults are consumed in the
+        #: dispatching process *before* pool submit (a FaultPlan holds a
+        #: lock and cannot be pickled into workers), so they only apply to
+        #: the pooled path, not the serial fast path
+        self.fault_plan = fault_plan
         #: cumulative fault-tolerance accounting across all map_chunks calls
         #: (an executor may be shared by concurrently-scheduled stages, so
         #: increments go through :attr:`_stats_lock`)
@@ -142,6 +149,7 @@ class ParallelExecutor:
             "chunk_failures": 0,
             "retries": 0,
             "degraded_chunks": 0,
+            "abandoned": 0,
         }
         self._stats_lock = threading.Lock()
 
@@ -183,18 +191,35 @@ class ParallelExecutor:
         worker: Callable[[Tuple[Any, List[Any]]], List[Any]],
         payloads: List[Tuple[Any, List[Any]]],
         indices: List[int],
-    ) -> Tuple[Dict[int, List[Any]], List[int]]:
-        """One pool pass over ``indices``; returns (successes, failures).
+    ) -> Tuple[Dict[int, List[Any]], List[int], int]:
+        """One pool pass over ``indices``; returns
+        ``(successes, failures, abandoned)``.
 
         Any per-chunk exception, timeout, or pool breakage marks that
-        chunk failed and never propagates out of the round.
+        chunk failed and never propagates out of the round.  ``abandoned``
+        counts failed futures that were still running when this round gave
+        up on them (a timed-out thread keeps holding its thread; a broken
+        pool's workers are gone) — the observable leaked-worker pressure.
         """
         successes: Dict[int, List[Any]] = {}
         failures: List[int] = []
-        pool = self._make_pool(len(indices))
+        abandoned = 0
+        to_submit: List[int] = []
+        for idx in indices:
+            if (self.fault_plan is not None
+                    and self.fault_plan.trigger("chunk", str(idx)) is not None):
+                # Injected worker kill: the chunk never reaches the pool,
+                # exactly as if its worker died before reporting back.
+                failures.append(idx)
+            else:
+                to_submit.append(idx)
+        if not to_submit:
+            return successes, failures, abandoned
+        pool = self._make_pool(len(to_submit))
         clean_shutdown = True
         try:
-            futures = [(idx, pool.submit(worker, payloads[idx])) for idx in indices]
+            futures = [(idx, pool.submit(worker, payloads[idx]))
+                       for idx in to_submit]
             for idx, future in futures:
                 try:
                     successes[idx] = future.result(timeout=self.chunk_timeout)
@@ -204,11 +229,13 @@ class ParallelExecutor:
                     # (which also fails every later future of this pool).
                     failures.append(idx)
                     clean_shutdown = False
+                    if not future.done():
+                        abandoned += 1
         finally:
             # After a timeout or broken pool, waiting for stragglers could
             # block forever; abandon them and let the retry use a new pool.
             pool.shutdown(wait=clean_shutdown, cancel_futures=not clean_shutdown)
-        return successes, failures
+        return successes, failures, abandoned
 
     def map_chunks(
         self,
@@ -242,18 +269,20 @@ class ParallelExecutor:
         payloads = [(shared, chunk) for chunk in chunks]
         results: Dict[int, List[Any]] = {}
         pending = list(range(len(chunks)))
-        failures = retried = degraded = 0
+        failures = retried = degraded = abandoned = 0
 
-        successes, failed = self._run_round(worker, payloads, pending)
+        successes, failed, left_running = self._run_round(worker, payloads, pending)
         results.update(successes)
         failures += len(failed)
+        abandoned += left_running
         for _ in range(self.retries):
             if not failed:
                 break
             retried += len(failed)
-            successes, failed = self._run_round(worker, payloads, failed)
+            successes, failed, left_running = self._run_round(worker, payloads, failed)
             results.update(successes)
             failures += len(failed)
+            abandoned += left_running
 
         # Last resort: the failed chunks run serially in this process, in
         # chunk order, preserving the task-ordered output exactly.
@@ -265,8 +294,10 @@ class ParallelExecutor:
             self.stats["chunk_failures"] += failures
             self.stats["retries"] += retried
             self.stats["degraded_chunks"] += degraded
+            self.stats["abandoned"] += abandoned
         if counters is not None:
             counters["worker_failures"] = counters.get("worker_failures", 0) + failures
             counters["worker_retries"] = counters.get("worker_retries", 0) + retried
             counters["worker_degraded"] = counters.get("worker_degraded", 0) + degraded
+            counters["worker_abandoned"] = counters.get("worker_abandoned", 0) + abandoned
         return [result for idx in range(len(chunks)) for result in results[idx]]

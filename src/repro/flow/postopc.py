@@ -113,6 +113,12 @@ class FlowConfig:
     #: (cone-limited, bit-identical to a full run); False forces the
     #: full engine run
     incremental_sta: bool = True
+    #: wall-clock budget for a service job running this config; the
+    #: service watchdog fails the job (exit code 2, reason ``deadline``)
+    #: when exceeded.  None = no per-config deadline (the service default
+    #: or submit-time override may still apply).  Ignored by direct CLI
+    #: ``flow`` runs — deadlines are a service-scheduling concern.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         # InputValidationError subclasses ValueError, so pre-taxonomy
@@ -142,6 +148,10 @@ class FlowConfig:
             raise InputValidationError(
                 "litho_shards",
                 f"must be >= 0 (0 = tile path), got {self.litho_shards}",
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise InputValidationError(
+                "deadline_s", "must be positive (or None for no deadline)"
             )
 
 

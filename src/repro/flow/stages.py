@@ -31,6 +31,7 @@ from typing import (
     Tuple,
 )
 
+from repro.flow.chaos import inject_stage_fault
 from repro.flow.context import FlowContext, SettleOutcome, stable_hash
 from repro.flow.errors import FlowError, GraphValidationError, StageError
 from repro.flow.trace import FlowTrace
@@ -511,6 +512,8 @@ def settle_stage(
     def _compute() -> Tuple[Dict[str, Any], Dict[str, float]]:
         counters: Dict[str, float] = {}
         try:
+            if context.fault_plan is not None:
+                inject_stage_fault(context.fault_plan, stage.name)
             outputs = stage.run(flow, config, artifacts, counters, context)
         except FlowError:
             raise

@@ -105,6 +105,18 @@ class TestExecutorRetry:
         assert ex.stats["chunk_failures"] == 1
         assert ex.stats["retries"] == 1
 
+    def test_timeout_abandons_straggler_and_counts_it(self, tmp_path):
+        # A timed-out thread cannot be killed; the round gives up on it
+        # and the leak is counted so operators can see thread pressure.
+        ex = ParallelExecutor("thread", 2, retries=0, chunk_timeout=0.2)
+        shared = (FaultInjection(str(tmp_path), 1), 2.0, 3)
+        counters = {}
+        assert ex.map_chunks(_slow_scale_chunk, shared, TASKS,
+                             counters=counters) == EXPECTED
+        assert ex.stats["abandoned"] == 1
+        assert ex.stats["degraded_chunks"] == 1
+        assert counters["worker_abandoned"] == 1
+
     def test_knob_validation(self):
         with pytest.raises(ValueError):
             ParallelExecutor("process", 2, retries=-1)

@@ -168,6 +168,53 @@ class TestExactlyOnce:
         assert len(deduped_events) == sum(s["deduped"] for s in summaries)
 
 
+class TestHealthAndJobIds:
+    def test_health_reflects_queue_workers_breakers_and_cache(self, tech, lib):
+        async def scenario():
+            async with FlowService(_flows(tech, lib), workers=2) as service:
+                idle = service.health()
+                assert idle["running"] is True
+                assert idle["queue_depth"] == 0
+                assert [w["job"] for w in idle["workers"]] == [None, None]
+                assert idle["jobs"] == {}
+                assert idle["breakers"]["c17"]["state"] == "closed"
+                assert idle["cache"]["disk_corruptions"] == 0
+                assert idle["executor"]["abandoned"] == 0
+
+                config = FlowConfig(opc_mode="none", clock_period_ps=500)
+                job_id = service.submit("c17", config=config)
+                # submit is synchronous: the worker has not yet run, so
+                # the job is still visible in the queue depth
+                assert service.health()["queue_depth"] == 1
+                await service.report(job_id, timeout=600)
+                settled = service.health()
+                assert settled["jobs"] == {"done": 1}
+                assert settled["queue_depth"] == 0
+                assert settled["breakers"]["c17"]["consecutive_failures"] == 0
+
+        asyncio.run(scenario())
+
+    def test_rejected_submit_does_not_burn_job_ids(self, tech, lib):
+        async def scenario():
+            service = FlowService(_flows(tech, lib), max_queue=1, workers=1)
+            await service.start()
+            config = FlowConfig(opc_mode="none", clock_period_ps=500)
+            first = service.submit("c17", config=config)
+            assert first == "job-0001"
+            with pytest.raises(ServiceRejectedError) as excinfo:
+                service.submit("c17", config=config)
+            assert excinfo.value.reason == "queue-full"
+            await service.report(first, timeout=600)
+            # the rejected submit consumed no id: the next accepted job
+            # is numbered contiguously
+            second = service.submit("c17", config=config)
+            assert second == "job-0002"
+            await service.report(second, timeout=600)
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
 class TestSocketProtocol:
     def test_unix_socket_roundtrip(self, tech, lib, tmp_path):
         socket_path = str(tmp_path / "repro.sock")
@@ -220,5 +267,61 @@ class TestSocketProtocol:
                 not_json = await rpc(["not", "an", "object"])
                 assert not not_json["ok"]
                 assert not_json["reason"] == "bad-request"
+
+        asyncio.run(scenario())
+
+    def test_wire_timeout_and_deadline_validation(self, tech, lib, tmp_path):
+        socket_path = str(tmp_path / "repro.sock")
+
+        async def rpc(request):
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        async def scenario():
+            async with FlowService(_flows(tech, lib)) as service:
+                await service.serve_unix(socket_path)
+
+                # malformed timeouts are rejected before the job lookup
+                for bad in ("soon", True, -1):
+                    resp = await rpc({"op": "report", "id": "job-0001",
+                                      "timeout": bad})
+                    assert not resp["ok"], bad
+                    assert resp["reason"] == "bad-config"
+                    assert "timeout" in resp["error"]
+
+                bad_deadline = await rpc({"op": "submit", "design": "c17",
+                                          "deadline_s": "fast"})
+                assert not bad_deadline["ok"]
+                assert bad_deadline["reason"] == "bad-config"
+
+                submitted = await rpc({
+                    "op": "submit", "design": "c17",
+                    "config": {"opc_mode": "rule", "clock_period_ps": 500},
+                })
+                assert submitted["ok"]
+                job_id = submitted["id"]
+
+                # an expired wait is a structured timeout response, not a
+                # dropped connection or a bad-request
+                early = await rpc({"op": "report", "id": job_id,
+                                   "timeout": 0.01})
+                assert not early["ok"]
+                assert early["reason"] == "timeout"
+                assert early["id"] == job_id
+                assert "not settled" in early["error"]
+
+                final = await rpc({"op": "report", "id": job_id,
+                                   "timeout": 600})
+                assert final["ok"] and final["state"] == "done"
+
+                health = await rpc({"op": "health"})
+                assert health["ok"] and health["running"]
+                assert health["jobs"].get("done") == 1
+                assert health["breakers"]["c17"]["state"] == "closed"
 
         asyncio.run(scenario())
