@@ -387,6 +387,7 @@ def cmd_lint(args) -> int:
         baseline=args.baseline,
         write_baseline_path=args.write_baseline,
         stage_fingerprints=args.stage_fingerprints,
+        changed_only=args.changed,
     )
 
 
@@ -558,9 +559,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directory trees to check (default: src)")
     lint.add_argument("--select", action="append", default=None, metavar="RULE",
-                      help="run only this rule (repeatable)")
+                      help="run only this rule (repeatable, or "
+                           "comma-separated)")
     lint.add_argument("--ignore", action="append", default=None, metavar="RULE",
-                      help="skip this rule (repeatable)")
+                      help="skip this rule (repeatable, or comma-separated)")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only files changed against git HEAD "
+                           "(plus untracked) under the given paths")
     lint.add_argument("--exclude", action="append", default=None, metavar="SUBSTR",
                       help="drop files whose path contains this substring "
                            "(e.g. the checker's own violation corpus)")

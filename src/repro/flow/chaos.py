@@ -126,10 +126,11 @@ class FaultPlan:
         self._released = threading.Event()
 
     def __repr__(self) -> str:
-        parts = ", ".join(
-            f"{s.site}[{s.match or '*'}]x{r}"
-            for s, r in zip(self.specs, self._remaining)
-        )
+        with self._lock:
+            parts = ", ".join(
+                f"{s.site}[{s.match or '*'}]x{r}"
+                for s, r in zip(self.specs, self._remaining)
+            )
         return f"FaultPlan({parts})"
 
     @classmethod

@@ -573,11 +573,12 @@ class FlowContext:
         if stats["deduped"]:
             text += f"; {stats['deduped']} deduped in flight"
         if self.cache_dir is not None:
-            entries, total_bytes = self.disk_usage()
+            disk = stats["disk"]
+            assert isinstance(disk, dict)
             text += (
-                f"; disk {self.disk_hits}h/{self.disk_misses}m"
-                f" ({entries} files, {total_bytes / 1e6:.1f} MB"
-                f", {self.disk_evictions} evicted"
-                f", {self.disk_corruptions} corrupt)"
+                f"; disk {disk['hits']}h/{disk['misses']}m"
+                f" ({disk['entries']} files, {disk['bytes'] / 1e6:.1f} MB"
+                f", {disk['evictions']} evicted"
+                f", {disk['corruptions']} corrupt)"
             )
         return text

@@ -153,7 +153,8 @@ class RunJournal:
         successful append — the service's hung-stage watchdog listens here
         for scheduler heartbeats.  Listener errors are swallowed: telemetry
         must never fail the run."""
-        self._listeners.append(listener)
+        with self._write_lock:
+            self._listeners.append(listener)
 
     def append(self, record_type: str, **payload: Any) -> Dict[str, Any]:
         """Append one record; flushed and fsynced so a kill -9 an instant
@@ -170,7 +171,8 @@ class RunJournal:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._fh.flush()
             os.fsync(self._fh.fileno())
-        for listener in list(self._listeners):
+            listeners = list(self._listeners)
+        for listener in listeners:
             try:
                 listener(record)
             # repro-lint: allow[broad-except] observability hook: a bad listener must not fail the journaled run

@@ -172,6 +172,13 @@ class ParallelExecutor:
             f"retries={self.retries})"
         )
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of :attr:`stats`, taken under the stats
+        lock so a concurrent :meth:`map_chunks` merge can't be observed
+        half-applied."""
+        with self._stats_lock:
+            return dict(self.stats)
+
     # -- dispatch -----------------------------------------------------------
 
     def _make_pool(self, workers: int) -> Any:

@@ -626,8 +626,10 @@ class PostOpcTimingFlow:
                 self, config, context, trace, journal=journal, interrupt=interrupt
             )
         except FlowInterrupted as exc:
+            # repro-lint: allow[blocking-in-async] signal unwind: the loop is about to stop, so persist the cache and the stop record without yielding
             context.flush()
             if journal is not None:
+                # repro-lint: allow[blocking-in-async] same unwind: a yielded append could lose the record a resume replays from
                 journal.record_interrupted(exc.signal_name, exc.next_stage)
             raise
 

@@ -152,6 +152,7 @@ class StageScheduler:
                 )
                 keys[stage.name] = key
                 if journal is not None and stage.name not in announced:
+                    # repro-lint: allow[blocking-in-async] one fsynced line; must land in launch order, a thread hop could reorder it past the stage's own records
                     journal.record_event("ready", stage.name, key)
                 announced.add(stage.name)
                 inputs: Dict[str, Any] = {}
@@ -190,8 +191,9 @@ class StageScheduler:
                     t_start=settled.t_start, t_end=settled.t_end,
                 )
                 if journal is not None:
+                    # repro-lint: allow[blocking-in-async] _drain also runs on the cancellation path: an await here could drop the terminal record a resume needs
                     journal.record_event("done", name, settled.key)
-                    # repro-lint: allow[entropy-taint] wall-time is telemetry: resume replays keys, never durations
+                    # repro-lint: allow[entropy-taint,blocking-in-async] wall-time is telemetry: resume replays keys, never durations; append must not yield mid-unwind
                     journal.record_stage(
                         record, key=settled.key,
                         quarantined=int(
@@ -217,6 +219,7 @@ class StageScheduler:
                 # cached and journaled) before unwinding.
                 leftover, _ = await asyncio.wait(set(running))
                 await _drain(leftover)
+            # repro-lint: allow[blocking-in-async] uncontended in-memory RLock read after every stage settled; a to_thread hop costs more than the hold
             trace.annotations["cache_consistent"] = not context.consistency()
 
         if failures:

@@ -354,6 +354,7 @@ class FlowService:
         self._stopped = False
         self._active = [None] * self.n_workers
         if self.run_root is not None:
+            # repro-lint: allow[blocking-in-async] startup-only scan before any job runs; it feeds put_nowait on the loop's queue, so it must stay on the loop
             self._recover_orphans()
         self._workers = [
             asyncio.create_task(self._worker(i),
@@ -627,8 +628,9 @@ class FlowService:
             "degraded_chunks": 0, "abandoned": 0,
         }
         for executor in executors.values():
+            snapshot = executor.stats_snapshot()
             for stat in executor_stats:
-                executor_stats[stat] += int(executor.stats.get(stat, 0))
+                executor_stats[stat] += int(snapshot.get(stat, 0))
         return {
             "running": not self._stopped,
             "queue_depth": 0 if self._queue is None else self._queue.qsize(),
@@ -704,7 +706,7 @@ class FlowService:
         flow = self.flows[job.design]
         journal: Optional[RunJournal] = None
         try:
-            journal = self._open_journal(job)
+            journal = await asyncio.to_thread(self._open_journal, job)
             if journal is not None:
                 journal.add_listener(lambda record: self._beat(job))
             if job.op == "flow":

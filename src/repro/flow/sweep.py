@@ -211,10 +211,13 @@ class FlowSweep:
             except Exception as exc:
                 failures[mode] = f"{type(exc).__name__}: {exc}"
                 if journal is not None:
-                    journal.record_mode(mode, "failed", detail=failures[mode])
+                    await asyncio.to_thread(
+                        journal.record_mode, mode, "failed",
+                        detail=failures[mode],
+                    )
             else:
                 if journal is not None:
-                    journal.record_mode(mode, "ok")
+                    await asyncio.to_thread(journal.record_mode, mode, "ok")
         if interrupted is not None:
             raise interrupted  # the flow already journaled the interruption
         return SweepResult(reports=reports, context=self.flow.context,

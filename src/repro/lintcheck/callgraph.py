@@ -26,9 +26,14 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: both def flavors — async methods are indexed like sync ones, with
+#: :attr:`FunctionInfo.is_async` telling them apart (the concurrency
+#: rules need to know which side of the event loop a body runs on)
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
 def module_name_for(path: str) -> Tuple[str, str]:
@@ -89,13 +94,17 @@ class FunctionInfo:
     qualname: str
     module: str
     path: str
-    node: ast.FunctionDef
+    node: FunctionNode
     class_qualname: Optional[str] = None
     is_property: bool = False
 
     @property
     def name(self) -> str:
         return self.node.name
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
 
     @property
     def display(self) -> str:
@@ -154,7 +163,7 @@ class ModuleInfo:
     classes: Dict[str, str] = field(default_factory=dict)
 
 
-def _is_property_def(node: ast.FunctionDef) -> bool:
+def _is_property_def(node: FunctionNode) -> bool:
     for decorator in node.decorator_list:
         if isinstance(decorator, ast.Name) and decorator.id == "property":
             return True
@@ -240,7 +249,7 @@ class Project:
                 for target in stmt.targets:
                     if isinstance(target, ast.Name):
                         info.constants[target.id] = stmt.value
-            elif isinstance(stmt, ast.FunctionDef):
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qualname = f"{modname}.{stmt.name}"
                 info.functions[stmt.name] = qualname
                 self.functions[qualname] = FunctionInfo(
@@ -261,7 +270,7 @@ class Project:
             node=node, bases=bases,
         )
         for item in node.body:
-            if isinstance(item, ast.FunctionDef):
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 method_qualname = f"{qualname}.{item.name}"
                 is_prop = _is_property_def(item)
                 cls_info.methods[item.name] = method_qualname

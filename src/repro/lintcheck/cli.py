@@ -15,9 +15,12 @@ fingerprint file the ``stale-version`` rule compares against
 
 from __future__ import annotations
 
+import os
+import subprocess
 import sys
 from typing import List, Optional, Sequence, TextIO
 
+from repro.flow.errors import InputValidationError
 from repro.lintcheck.core import check_paths, collect_files, iter_rules, rules_for
 from repro.lintcheck.formats import (
     apply_baseline,
@@ -25,6 +28,46 @@ from repro.lintcheck.formats import (
     render,
     write_baseline,
 )
+
+
+def _split_rule_names(names: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Expand ``--select a,b --select c`` into ``["a", "b", "c"]``."""
+    if names is None:
+        return None
+    out: List[str] = []
+    for entry in names:
+        out.extend(name.strip() for name in entry.split(",") if name.strip())
+    return out
+
+
+def changed_files() -> List[str]:
+    """Python files changed against ``HEAD`` plus untracked ones, as
+    absolute paths — the ``--changed`` pre-commit scope."""
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "-z", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise InputValidationError(
+            "changed", f"--changed needs a git checkout: {exc}"
+        ) from exc
+    out: List[str] = []
+    for name in (diff + untracked).split("\0"):
+        if not name or not name.endswith(".py"):
+            continue
+        path = os.path.join(top, name)
+        if os.path.isfile(path):
+            out.append(os.path.abspath(path))
+    return sorted(set(out))
 
 
 def list_rules(out: Optional[TextIO] = None) -> int:
@@ -70,17 +113,33 @@ def run_lint(
     baseline: Optional[str] = None,
     write_baseline_path: Optional[str] = None,
     stage_fingerprints: Optional[str] = None,
+    changed_only: bool = False,
 ) -> int:
     """Lint ``paths``; render findings in ``fmt``; exit 1 on findings.
 
     With ``baseline`` set, grandfathered findings are suppressed before
     rendering; with ``write_baseline_path`` set, the run records the
-    current findings as the new baseline and exits 0.
+    current findings as the new baseline and exits 0.  ``changed_only``
+    intersects the collected files with the git-changed set (diff
+    against HEAD plus untracked), so the heavier whole-program rules
+    stay fast in pre-commit use; a run where nothing under ``paths``
+    changed is clean by definition.
     """
     out = out if out is not None else sys.stdout
-    rules = rules_for(select=select, ignore=ignore)
+    rules = rules_for(select=_split_rule_names(select),
+                      ignore=_split_rule_names(ignore))
+    lint_paths = list(paths)
+    if changed_only:
+        changed = set(changed_files())
+        lint_paths = [
+            file_path for file_path in collect_files(lint_paths, exclude=exclude)
+            if os.path.abspath(file_path) in changed
+        ]
+        if not lint_paths:
+            out.write("no changed Python files under the given paths\n")
+            return 0
     findings = check_paths(
-        list(paths), rules=rules, apply_waivers=not no_waivers,
+        lint_paths, rules=rules, apply_waivers=not no_waivers,
         exclude=exclude, jobs=jobs, stage_fingerprints=stage_fingerprints,
     )
     if write_baseline_path is not None:

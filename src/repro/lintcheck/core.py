@@ -206,6 +206,7 @@ def _ensure_builtin_rules() -> None:
     if not _REGISTRY:
         # registration side effects
         import repro.lintcheck.cachesafety  # noqa: F401
+        import repro.lintcheck.concurrency  # noqa: F401
         import repro.lintcheck.rules  # noqa: F401
         import repro.lintcheck.taint  # noqa: F401
 

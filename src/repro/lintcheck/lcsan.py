@@ -1,0 +1,283 @@
+"""lcsan — a runtime lock sanitizer for the flow's concurrency tests.
+
+The static rules in :mod:`repro.lintcheck.concurrency` prove properties
+about the code the AST can see; lcsan witnesses the same properties at
+runtime.  Tests swap a :class:`SanitizingThreading` proxy in place of a
+module's ``threading`` import (see :func:`instrument_modules`), so every
+lock the module creates afterwards is a :class:`SanitizedLock` that
+reports acquisitions to a shared :class:`LockSanitizer`.  The sanitizer
+records, per thread:
+
+* the **acquisition-order graph** — an edge ``A -> B`` whenever ``B`` is
+  taken while ``A`` is held.  :meth:`LockSanitizer.inversions` returns
+  the lock pairs observed in *both* orders: the dynamic counterpart of
+  the ``lock-order-inversion`` rule.
+* **async acquisitions** — a sanitized (thread) lock taken while an
+  asyncio task is current, the dynamic counterpart of
+  ``blocking-in-async``'s with-lock check.
+* **held-across-await** — a lock acquired in one asyncio task is still
+  held when a different task (or plain thread code) runs on the same
+  thread, which can only happen if the holder yielded at an ``await``.
+* **blocking-while-held** — :meth:`LockSanitizer.note_blocking` is a
+  hook tests patch into blocking primitives (``os.fsync`` et al.); the
+  event records which sanitized locks were held across the call.
+
+This module is deliberately pytest-free: the fixture that installs it
+lives with the tests.  It has no dependencies beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+from types import ModuleType, TracebackType
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+
+def _current_task_label() -> Optional[str]:
+    """Name of the running asyncio task, or None off the event loop."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return None
+    task = asyncio.current_task()
+    if task is None:
+        return "<loop>"
+    return task.get_name()
+
+
+def _creation_site() -> str:
+    """``file.py:line`` of the frame that called ``Lock()``/``RLock()``,
+    skipping lcsan's own frames — the default lock name."""
+    depth = 1
+    while True:
+        try:
+            frame = sys._getframe(depth)
+        except ValueError:
+            return "<lock>"
+        if frame.f_globals.get("__name__") != __name__:
+            return (f"{os.path.basename(frame.f_code.co_filename)}"
+                    f":{frame.f_lineno}")
+        depth += 1
+
+
+@dataclass
+class _Held:
+    """One entry on a thread's held-lock stack."""
+    lock: "SanitizedLock"
+    task: Optional[str]  # asyncio task current at acquire time, if any
+    count: int = 1       # reentrant acquisitions of the same RLock
+
+
+class _HeldStacks(threading.local):
+    """Per-thread stack of currently held sanitized locks."""
+
+    def __init__(self) -> None:
+        self.stack: List[_Held] = []
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """A lock pair observed in both acquisition orders."""
+    first: str
+    second: str
+    forward_site: str   # where first -> second was observed
+    backward_site: str  # where second -> first was observed
+
+    def describe(self) -> str:
+        return (f"{self.first} -> {self.second} at {self.forward_site} "
+                f"but {self.second} -> {self.first} at {self.backward_site}")
+
+
+@dataclass
+class LockSanitizer:
+    """Collects lock events from every :class:`SanitizedLock` wired to it.
+
+    All event lists are appended under an internal (real) lock, so the
+    sanitizer itself is safe to share across the threads it watches.
+    """
+
+    order_edges: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    async_acquires: List[str] = field(default_factory=list)
+    held_across_await: List[str] = field(default_factory=list)
+    blocking_while_held: List[str] = field(default_factory=list)
+    _guard: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
+    _stacks: _HeldStacks = field(
+        default_factory=_HeldStacks, repr=False, compare=False)
+
+    # -- event intake -------------------------------------------------
+
+    def _on_acquire(self, lock: "SanitizedLock") -> None:
+        stack = self._stacks.stack
+        self._check_await(stack)
+        for rec in stack:
+            if rec.lock is lock:
+                rec.count += 1  # reentrant re-acquire: no new edges
+                return
+        site = _creation_site()
+        task = _current_task_label()
+        with self._guard:
+            for rec in stack:
+                self.order_edges.setdefault(
+                    (rec.lock.name, lock.name), site)
+            if task is not None:
+                self.async_acquires.append(
+                    f"{lock.name} acquired in async context "
+                    f"({task}) at {site}")
+        stack.append(_Held(lock, task))
+
+    def _on_release(self, lock: "SanitizedLock") -> None:
+        stack = self._stacks.stack
+        self._check_await(stack)
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].lock is lock:
+                if stack[index].count > 1:
+                    stack[index].count -= 1
+                else:
+                    del stack[index]
+                return
+        # Released by a thread that never acquired it (legal for a bare
+        # Lock used as a signal): nothing to pop.
+
+    def note_blocking(self, what: str) -> None:
+        """Tests patch this into blocking primitives (``os.fsync``,
+        ``time.sleep``) to record blocking calls made under a lock."""
+        stack = self._stacks.stack
+        self._check_await(stack)
+        if not stack:
+            return
+        held = ", ".join(rec.lock.name for rec in stack)
+        with self._guard:
+            self.blocking_while_held.append(
+                f"{what} called while holding [{held}]")
+
+    def _check_await(self, stack: Sequence[_Held]) -> None:
+        """Flag locks acquired in one asyncio task but still held while a
+        different task (or non-task code) runs on this thread."""
+        current = _current_task_label()
+        for rec in stack:
+            if rec.task is not None and rec.task != current:
+                event = (f"{rec.lock.name} acquired in task {rec.task} "
+                         f"still held in "
+                         f"{current if current is not None else '<thread>'}")
+                with self._guard:
+                    if event not in self.held_across_await:
+                        self.held_across_await.append(event)
+
+    # -- reports ------------------------------------------------------
+
+    def inversions(self) -> List[Inversion]:
+        """Lock pairs observed in both orders, each reported once."""
+        with self._guard:
+            edges = dict(self.order_edges)
+        out: List[Inversion] = []
+        for (first, second), site in sorted(edges.items()):
+            if first >= second:  # report each unordered pair once
+                continue
+            back = edges.get((second, first))
+            if back is not None:
+                out.append(Inversion(first, second, site, back))
+        return out
+
+    def reset(self) -> None:
+        with self._guard:
+            self.order_edges.clear()
+            self.async_acquires.clear()
+            self.held_across_await.clear()
+            self.blocking_while_held.clear()
+
+
+class SanitizedLock:
+    """Delegating wrapper around a real ``threading`` lock that reports
+    successful acquisitions and releases to a :class:`LockSanitizer`."""
+
+    def __init__(self, inner: Any, sanitizer: LockSanitizer,
+                 name: str, reentrant: bool) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+        self.name = name
+        self.reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = bool(self._inner.acquire(blocking, timeout))
+        if got:
+            self._sanitizer._on_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._sanitizer._on_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.release()
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"SanitizedLock({kind} {self.name!r})"
+
+
+class SanitizingThreading:
+    """Drop-in stand-in for the ``threading`` module: ``Lock``/``RLock``
+    come back sanitized, everything else passes through untouched."""
+
+    def __init__(self, sanitizer: LockSanitizer) -> None:
+        self._sanitizer = sanitizer
+
+    def Lock(self) -> SanitizedLock:  # noqa: N802 - mirrors threading API
+        return SanitizedLock(threading.Lock(), self._sanitizer,
+                             _creation_site(), reentrant=False)
+
+    def RLock(self) -> SanitizedLock:  # noqa: N802 - mirrors threading API
+        return SanitizedLock(threading.RLock(), self._sanitizer,
+                             _creation_site(), reentrant=True)
+
+    def Condition(self, lock: Optional[Any] = None) -> threading.Condition:  # noqa: N802
+        # Condition pokes at lock internals; hand it the real lock.
+        if isinstance(lock, SanitizedLock):
+            lock = lock._inner
+        return threading.Condition(lock)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(threading, attr)
+
+
+def name_instance_locks(obj: Any, prefix: str) -> None:
+    """Rename ``obj``'s sanitized lock attributes ``prefix.attr`` so
+    reports read ``FlowContext._lock`` instead of ``context.py:188``."""
+    for attr, value in vars(obj).items():
+        if isinstance(value, SanitizedLock):
+            value.name = f"{prefix}.{attr}"
+
+
+def instrument_modules(
+    sanitizer: LockSanitizer, modules: Sequence[ModuleType],
+) -> Callable[[], None]:
+    """Point each module's ``threading`` global at a sanitizing proxy.
+
+    Locks the modules create *after* this call are sanitized; module-
+    level locks created at import time are untouched.  Returns a
+    zero-argument callable that restores the original bindings.
+    """
+    proxy = SanitizingThreading(sanitizer)
+    saved: List[Tuple[ModuleType, Any]] = []
+    for module in modules:
+        saved.append((module, getattr(module, "threading")))
+        module.threading = proxy  # type: ignore[attr-defined]
+
+    def restore() -> None:
+        for module, original in saved:
+            module.threading = original  # type: ignore[attr-defined]
+    return restore

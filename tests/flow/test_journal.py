@@ -3,6 +3,7 @@
 import json
 import os
 import signal
+import threading
 
 import pytest
 
@@ -72,6 +73,48 @@ class TestJournalRoundTrip:
         lines = open(journal.path).read().splitlines()
         assert len(lines) == 2
         assert json.loads(lines[1])["name"] == "place"
+        journal.close()
+
+
+class TestListenerRegistrationRace:
+    def test_add_listener_concurrent_with_append(self, tmp_path):
+        """Subscribing from one thread while another appends must lose
+        neither listeners nor notifications: both sides serialize their
+        list access on the journal's write lock."""
+        journal = RunJournal.create(str(tmp_path), {"fingerprint": "f"})
+        calls = []
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def subscribe():
+            barrier.wait()
+            try:
+                for _ in range(100):
+                    journal.add_listener(
+                        lambda rec: calls.append(rec["type"]))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def write():
+            barrier.wait()
+            try:
+                for i in range(100):
+                    journal.append("note", i=i)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=subscribe),
+                   threading.Thread(target=write)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # every registration survived the race: a quiescent append
+        # notifies all 100 listeners exactly once
+        calls.clear()
+        journal.append("final")
+        assert calls == ["final"] * 100
         journal.close()
 
 

@@ -1,0 +1,235 @@
+"""lcsan, the runtime lock sanitizer: detector units, the sanitized
+FlowContext barrier-hammer, and a seeded chaos scenario — all asserting
+zero lock-order inversions and zero held-across-await events, the
+dynamic counterpart of the static concurrency rules."""
+
+import asyncio
+import threading
+
+import pytest
+
+import repro.flow.chaos as chaos_mod
+import repro.flow.context as context_mod
+import repro.flow.journal as journal_mod
+import repro.flow.parallel as parallel_mod
+from repro.cells import build_library
+from repro.circuits import c17
+from repro.flow import FaultPlan, FlowConfig, FlowContext, PostOpcTimingFlow
+from repro.lintcheck import lcsan
+from repro.pdk import make_tech_90nm
+
+pytestmark = pytest.mark.timeout(120)
+
+FAST = FlowConfig(opc_mode="rule", clock_period_ps=500)
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech_90nm()
+
+
+@pytest.fixture(scope="module")
+def lib(tech):
+    return build_library(tech)
+
+
+@pytest.fixture
+def san():
+    """Sanitizer wired into every flow module that creates locks; locks
+    made while the fixture is live are SanitizedLock wrappers."""
+    sanitizer = lcsan.LockSanitizer()
+    restore = lcsan.instrument_modules(
+        sanitizer, [context_mod, journal_mod, parallel_mod, chaos_mod])
+    try:
+        yield sanitizer
+    finally:
+        restore()
+
+
+def _hammer(n_threads, target):
+    """Run ``target(i)`` on n threads through a start barrier (the
+    test_concurrency idiom)."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def _run(i):
+        barrier.wait()
+        try:
+            target(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+def _fresh():
+    sanitizer = lcsan.LockSanitizer()
+    return sanitizer, lcsan.SanitizingThreading(sanitizer)
+
+
+class TestDetectors:
+    def test_inversion_detected_with_both_sites(self):
+        san, proxy = _fresh()
+        a = proxy.Lock()
+        a.name = "A"
+        b = proxy.Lock()
+        b.name = "B"
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        [inv] = san.inversions()
+        assert (inv.first, inv.second) == ("A", "B")
+        assert "A -> B" in inv.describe() and "B -> A" in inv.describe()
+
+    def test_consistent_order_is_clean(self):
+        san, proxy = _fresh()
+        a, b = proxy.Lock(), proxy.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert san.inversions() == []
+        assert len(san.order_edges) == 1
+
+    def test_rlock_reentry_makes_no_edge(self):
+        san, proxy = _fresh()
+        r = proxy.RLock()
+        with r:
+            with r:
+                pass
+        assert san.order_edges == {}
+        assert san.inversions() == []
+
+    def test_locks_are_named_by_creation_site_by_default(self):
+        _, proxy = _fresh()
+        lock = proxy.Lock()
+        assert "test_lcsan.py:" in lock.name
+
+    def test_name_instance_locks(self):
+        _, proxy = _fresh()
+
+        class Box:
+            def __init__(self):
+                self._lock = proxy.Lock()
+
+        box = Box()
+        lcsan.name_instance_locks(box, "Box")
+        assert box._lock.name == "Box._lock"
+
+    def test_async_acquire_and_held_across_await(self):
+        san, proxy = _fresh()
+        lock = proxy.Lock()
+        lock.name = "guard"
+
+        async def main():
+            gate = asyncio.Event()
+            done = asyncio.Event()
+
+            async def holder():
+                lock.acquire()
+                gate.set()
+                await done.wait()  # yields while holding the lock
+                lock.release()
+
+            async def prober():
+                await gate.wait()
+                probe = proxy.Lock()
+                probe.name = "probe"
+                with probe:
+                    pass
+                done.set()
+
+            await asyncio.gather(
+                asyncio.ensure_future(holder()),
+                asyncio.ensure_future(prober()),
+            )
+
+        asyncio.run(main())
+        assert any("guard" in event for event in san.async_acquires)
+        assert any("guard" in event for event in san.held_across_await)
+
+    def test_plain_thread_use_records_no_async_events(self):
+        san, proxy = _fresh()
+        lock = proxy.Lock()
+        with lock:
+            pass
+        assert san.async_acquires == []
+        assert san.held_across_await == []
+
+    def test_note_blocking_records_held_locks(self):
+        san, proxy = _fresh()
+        lock = proxy.Lock()
+        lock.name = "journal._write_lock"
+        san.note_blocking("os.fsync")  # nothing held: no event
+        with lock:
+            san.note_blocking("os.fsync")
+        [event] = san.blocking_while_held
+        assert "os.fsync" in event and "journal._write_lock" in event
+
+    def test_reset_clears_reports(self):
+        san, proxy = _fresh()
+        a, b = proxy.Lock(), proxy.Lock()
+        with a:
+            with b:
+                pass
+        san.reset()
+        assert san.order_edges == {} and san.inversions() == []
+
+
+class TestInstrumentedFlow:
+    def test_barrier_hammer_no_inversions(self, san):
+        ctx = FlowContext()
+        assert isinstance(ctx._lock, lcsan.SanitizedLock)
+        lcsan.name_instance_locks(ctx, "FlowContext")
+
+        def settle(i):
+            ctx.settle("stage", f"k{i % 3}", lambda: i)
+
+        assert _hammer(8, settle) == []
+        assert ctx.consistency() == []
+        assert san.inversions() == []
+        assert san.held_across_await == []
+
+    def test_disk_hammer_edges_match_static_model(self, san, tmp_path):
+        ctx = FlowContext(cache_dir=str(tmp_path / "cache"))
+        lcsan.name_instance_locks(ctx, "FlowContext")
+
+        def settle(i):
+            ctx.settle("stage", f"k{i % 4}", lambda: {"v": i})
+
+        assert _hammer(8, settle) == []
+        observed = {
+            pair for pair in san.order_edges
+            if pair[0].startswith("FlowContext.")
+            and pair[1].startswith("FlowContext.")
+        }
+        # The static lock-order model derives exactly one FlowContext
+        # edge (_disk_lock outer, _lock inner via _count); the runtime
+        # must not witness an order the model does not know about.
+        assert observed <= {("FlowContext._disk_lock", "FlowContext._lock")}
+        assert san.inversions() == []
+        assert san.held_across_await == []
+
+    def test_seeded_chaos_disk_read_is_inversion_free(
+            self, san, tech, lib, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        warm = FlowContext(cache_dir=cache_dir)
+        PostOpcTimingFlow(c17(lib), tech, cells=lib, context=warm).run(FAST)
+
+        plan, spec = FaultPlan.seeded(0)
+        assert spec.site == "disk-read"
+        ctx = FlowContext(cache_dir=cache_dir, fault_plan=plan)
+        lcsan.name_instance_locks(ctx, "FlowContext")
+        PostOpcTimingFlow(c17(lib), tech, cells=lib, context=ctx).run(FAST)
+
+        assert plan.fired["disk-read"] == 1
+        assert san.inversions() == []
+        assert san.held_across_await == []

@@ -1,0 +1,53 @@
+"""Corpus: ``blocking-in-async`` — loop blocking and the inverse.
+
+``handle`` sleeps on the event loop through a sync helper; ``save``
+reaches ``open()`` through a two-hop chain; ``tick`` takes a threading
+lock in an async body.  ``good`` routes the same work through
+``asyncio.to_thread`` and must stay clean, while ``_thread_body`` —
+dispatched to a worker thread — touches an asyncio primitive.
+"""
+
+import asyncio
+import threading
+import time
+
+
+def slow_poll() -> None:
+    time.sleep(0.1)
+
+
+def _write_marker(path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("done\n")
+
+
+def persist_marker(path: str) -> None:
+    _write_marker(path)
+
+
+def _thread_body() -> None:
+    loop = asyncio.get_event_loop()  # BAD: asyncio primitive from a thread
+    loop.stop()
+
+
+class Gateway:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.pending = 0
+
+    async def handle(self) -> None:
+        slow_poll()  # BAD: time.sleep reached on the event loop
+
+    async def tick(self) -> None:
+        with self._lock:  # BAD: threading lock held on the event loop
+            self.pending += 1
+
+    async def save(self, path: str) -> None:
+        persist_marker(path)  # BAD: open() reached on the event loop
+
+    async def good(self, path: str) -> None:
+        await asyncio.to_thread(persist_marker, path)
+        await asyncio.to_thread(slow_poll)
+
+    async def spawn_thread(self) -> None:
+        await asyncio.to_thread(_thread_body)

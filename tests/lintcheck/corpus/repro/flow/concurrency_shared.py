@@ -1,0 +1,57 @@
+"""Corpus: ``unguarded-shared-state`` — lock-discipline violations.
+
+``Telemetry`` guards ``events`` and ``rows`` under ``self._lock`` in
+some methods but touches them bare in others, while a thread pool runs
+``pump``; ``staged`` is mutated across threads with no lock at all.
+The checker must flag every bare access; ``peek`` carries a waiver and
+must stay quiet.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events = []
+        self.rows = []
+        self.staged = []
+
+    def record(self, event) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def drain(self):
+        with self._lock:
+            rows = list(self.rows)
+            self.rows.clear()
+        return rows
+
+    def snapshot(self):
+        return list(self.events)  # BAD: guarded attribute read bare
+
+    def subscribe(self, row) -> None:
+        self.rows.append(row)  # BAD: guarded attribute written bare
+
+    def stage(self, item) -> None:
+        self.staged.append(item)  # BAD: thread-shared, never guarded
+
+    def flush_staged(self):
+        return list(self.staged)  # BAD: same unguarded attribute
+
+    def peek(self):
+        # repro-lint: allow[unguarded-shared-state] racy telemetry peek: a stale length is fine
+        return len(self.events)
+
+
+def pump(telemetry: Telemetry) -> None:
+    telemetry.record("tick")
+    telemetry.stage("tick")
+    telemetry.subscribe("row")
+    telemetry.flush_staged()
+
+
+def launch(telemetry: Telemetry) -> None:
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        pool.submit(pump, telemetry)

@@ -1,0 +1,34 @@
+"""Corpus: ``lock-order-inversion`` — cyclic acquisition + self-deadlock.
+
+``push`` takes ``_head`` then ``_tail``; ``pop`` takes ``_tail`` and
+calls ``_drop``, which takes ``_head`` — a cycle once two threads
+interleave.  ``reset`` re-acquires the non-reentrant ``_head`` while
+already holding it, which deadlocks on its own.
+"""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._head = threading.Lock()
+        self._tail = threading.Lock()
+        self.items = []
+
+    def push(self, item) -> None:
+        with self._head:
+            with self._tail:
+                self.items.append(item)
+
+    def _drop(self):
+        with self._head:
+            return self.items.pop()
+
+    def pop(self):
+        with self._tail:
+            return self._drop()
+
+    def reset(self) -> None:
+        with self._head:
+            with self._head:  # BAD: threading.Lock does not reenter
+                self.items.clear()

@@ -2,6 +2,7 @@
 shipped tree staying green."""
 
 import os
+import subprocess
 
 import pytest
 
@@ -40,7 +41,8 @@ class TestExitCodes:
                         "stage-contract", "stage-edge-contract",
                         "broad-except", "mutable-default",
                         "cache-undeclared-input", "stale-version",
-                        "entropy-taint"):
+                        "entropy-taint", "unguarded-shared-state",
+                        "lock-order-inversion", "blocking-in-async"):
             assert rule_id in out
 
     def test_select_restricts_rules(self, tmp_path):
@@ -53,6 +55,20 @@ class TestExitCodes:
         assert main(["lint", str(bad), "--select", "unseeded-rng",
                      "--ignore", "unseeded-rng"]) == 0
         assert main(["lint", str(bad), "--select", "unseeded-rng"]) == 1
+
+    def test_comma_separated_select(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "def f(items=[]):\n"
+            "    return random.random()\n"
+        )
+        assert main(["lint", str(bad),
+                     "--select", "unseeded-rng,mutable-default"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out and "mutable-default" in out
+        assert main(["lint", str(bad), "--select", "unseeded-rng",
+                     "--ignore", "unseeded-rng,mutable-default"]) == 0
 
     def test_exclude_drops_matching_files(self):
         assert main(["lint", CORPUS, "--exclude", "corpus"]) == 3  # nothing left
@@ -72,6 +88,8 @@ class TestCorpus:
             "unseeded-rng", "hash-entropy", "unordered-iteration",
             "stage-contract", "stage-edge-contract", "broad-except",
             "mutable-default", "cache-undeclared-input", "entropy-taint",
+            "unguarded-shared-state", "lock-order-inversion",
+            "blocking-in-async",
         }
 
     def test_waived_file_is_clean(self):
@@ -169,3 +187,65 @@ class TestBaselineFlags:
         baseline = tmp_path / "baseline.json"
         baseline.write_text("not json")
         assert main(["lint", CORPUS, "--baseline", str(baseline)]) == 3
+
+
+def _git(*args, cwd):
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@t"] + list(args),
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+class TestChangedFlag:
+    """`--changed` scopes the run to git-touched files: the pre-commit
+    fast path."""
+
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        _git("init", "-q", cwd=tmp_path)
+        (tmp_path / "clean.py").write_text("X = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "def f(items=[]):\n    return items\n")
+        _git("add", "-A", cwd=tmp_path)
+        _git("commit", "-qm", "seed", cwd=tmp_path)
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_nothing_changed_is_clean(self, repo, capsys):
+        assert main(["lint", str(repo), "--changed"]) == 0
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_modified_file_is_linted_others_skipped(self, repo, capsys):
+        (repo / "bad.py").write_text(
+            "import random\nx = random.random()\n")
+        assert main(["lint", str(repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out
+        assert "clean.py" not in out
+
+    def test_untracked_file_is_picked_up(self, repo, capsys):
+        (repo / "fresh.py").write_text(
+            "def g(items=[]):\n    return items\n")
+        assert main(["lint", str(repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out and "mutable-default" in out
+
+    def test_changed_findings_match_full_run_on_touched_files(
+            self, repo, capsys):
+        (repo / "bad.py").write_text(
+            "import random\n"
+            "def f(items=[]):\n"
+            "    return random.random()\n"
+        )
+        main(["lint", str(repo / "bad.py")])
+        full = capsys.readouterr().out
+        main(["lint", str(repo), "--changed"])
+        changed = capsys.readouterr().out
+        assert changed == full
+
+    def test_outside_git_exit_3(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+        (tmp_path / "mod.py").write_text("X = 1\n")
+        assert main(["lint", str(tmp_path), "--changed"]) == 3
+        assert "git" in capsys.readouterr().err

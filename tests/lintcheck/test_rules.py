@@ -313,7 +313,8 @@ class TestEngine:
             "broad-except", "hash-entropy", "mutable-default",
             "stage-contract", "stage-edge-contract", "unordered-iteration",
             "unseeded-rng", "cache-undeclared-input", "stale-version",
-            "entropy-taint",
+            "entropy-taint", "unguarded-shared-state",
+            "lock-order-inversion", "blocking-in-async",
         }
 
     def test_decorator_line_waiver_covers_decorated_statement(self):
