@@ -34,8 +34,10 @@ from repro.lintcheck.core import (
 # Importing the rule modules registers the built-in rule set.
 from repro.lintcheck import cachesafety as _cachesafety_rules  # noqa: F401
 from repro.lintcheck import concurrency as _concurrency_rules  # noqa: F401
+from repro.lintcheck import numerics as _numerics_rules  # noqa: F401
 from repro.lintcheck import rules as _builtin_rules  # noqa: F401
 from repro.lintcheck import taint as _taint_rules  # noqa: F401
+from repro.lintcheck import units as _units_rules  # noqa: F401
 
 __all__ = [
     "Finding",

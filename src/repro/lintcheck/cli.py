@@ -40,16 +40,64 @@ def _split_rule_names(names: Optional[Sequence[str]]) -> Optional[List[str]]:
     return out
 
 
+#: the hash of git's empty tree — the diff base when HEAD has no commit
+#: yet (fresh repo, orphan branch): everything tracked counts as changed
+_EMPTY_TREE = "4b825dc642cb6eb9a060e54bf8d69288fbee4904"
+
+
+def _parse_name_status(raw: str) -> List[str]:
+    """Post-image paths from ``git diff --name-status -z`` output.
+
+    The -z stream is ``STATUS\\0path\\0`` per entry — except renames and
+    copies (``R<score>``/``C<score>``), which carry *two* paths
+    (``old\\0new\\0``); linting wants the new one.  A plain
+    ``--name-only`` parse silently treats the old path of a rename as a
+    changed file (it no longer exists) and misses nothing else, which is
+    exactly the bug this replaces.
+    """
+    fields = raw.split("\0")
+    paths: List[str] = []
+    index = 0
+    while index < len(fields):
+        status = fields[index]
+        if not status:
+            index += 1
+            continue
+        if status[0] in ("R", "C"):
+            if index + 2 >= len(fields):
+                break
+            paths.append(fields[index + 2])  # old, then new
+            index += 3
+        else:
+            if index + 1 >= len(fields):
+                break
+            if status[0] != "D":  # deleted files cannot be linted
+                paths.append(fields[index + 1])
+            index += 2
+    return paths
+
+
 def changed_files() -> List[str]:
     """Python files changed against ``HEAD`` plus untracked ones, as
-    absolute paths — the ``--changed`` pre-commit scope."""
+    absolute paths — the ``--changed`` pre-commit scope.
+
+    Works in any checkout shape: detached HEAD (a bare commit hash is as
+    good a base as a branch tip), renamed files (the post-rename path is
+    linted, the pre-rename path is not resurrected), and a repo with no
+    commits yet (diffed against the empty tree).
+    """
     try:
         top = subprocess.run(
             ["git", "rev-parse", "--show-toplevel"],
             capture_output=True, text=True, check=True,
         ).stdout.strip()
+        head = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", "HEAD^{commit}"],
+            capture_output=True, text=True,
+        )
+        base = head.stdout.strip() if head.returncode == 0 else _EMPTY_TREE
         diff = subprocess.run(
-            ["git", "diff", "--name-only", "-z", "HEAD"],
+            ["git", "diff", "--name-status", "-z", "-M", base],
             capture_output=True, text=True, check=True,
         ).stdout
         untracked = subprocess.run(
@@ -60,9 +108,11 @@ def changed_files() -> List[str]:
         raise InputValidationError(
             "changed", f"--changed needs a git checkout: {exc}"
         ) from exc
+    names = _parse_name_status(diff)
+    names.extend(name for name in untracked.split("\0") if name)
     out: List[str] = []
-    for name in (diff + untracked).split("\0"):
-        if not name or not name.endswith(".py"):
+    for name in names:
+        if not name.endswith(".py"):
             continue
         path = os.path.join(top, name)
         if os.path.isfile(path):

@@ -207,8 +207,10 @@ def _ensure_builtin_rules() -> None:
         # registration side effects
         import repro.lintcheck.cachesafety  # noqa: F401
         import repro.lintcheck.concurrency  # noqa: F401
+        import repro.lintcheck.numerics  # noqa: F401
         import repro.lintcheck.rules  # noqa: F401
         import repro.lintcheck.taint  # noqa: F401
+        import repro.lintcheck.units  # noqa: F401
 
 
 def iter_rules() -> List[LintRule]:

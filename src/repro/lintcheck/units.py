@@ -1,0 +1,719 @@
+"""Physical-unit abstract interpretation over the call graph.
+
+The pipeline's values live in a handful of physical unit spaces — wafer
+lengths in **nm**, raster positions in **px**, the conversion factor
+``pixel`` (nm per px), timing in **ps**/**ns** — and the signal chain is
+one long transport between them.  This module runs a small abstract
+interpreter over that unit lattice::
+
+    nm   um   px   nm_per_px   ps   ns   1 (dimensionless)   ?
+
+seeded from three places (see :mod:`repro.units`):
+
+* ``Annotated`` unit aliases on parameters, returns and dataclass fields
+  (``x: Nanometers``, ``pixel: NmPerPixel``);
+* naming conventions (``defocus_nm``, ``*_px``, ``period_ps``, the exact
+  name ``pixel``);
+* an interprocedural fixpoint of per-function *return-unit summaries*
+  over :class:`~repro.lintcheck.callgraph.Project`, so a helper that
+  returns ``value_nm / pixel`` is known to yield px at every call site.
+
+The algebra is deliberately small: addition/subtraction/comparison
+require matching units, multiplication and division transport across the
+raster boundary (``nm / pixel -> px``, ``px * pixel -> nm``) and cancel
+equal units to dimensionless; anything else is unknown (never reported).
+
+Three rules consume the events:
+
+* ``unit-mismatch`` — adding/subtracting/comparing two *different* known
+  dimensional units anywhere (nm vs ps, px vs ns, ...).
+* ``missing-grid-conversion`` — the nm/px flavour of the same event
+  inside the raster-boundary modules (``repro/litho/``): crossing
+  between wafer and sample space without a ``pixel`` multiply/divide.
+* ``unit-unsafe-return`` — a public litho/metrology/timing API returns a
+  bare ``float`` whose unit the interpreter cannot establish; annotate
+  it with a :mod:`repro.units` alias (or fix the leak it exposes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lintcheck.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    annotation_simple_name,
+)
+from repro.lintcheck.core import Finding, ProjectRule, register
+from repro.units import ALIAS_UNITS, NAME_UNITS, SUFFIX_UNITS
+
+#: lattice elements (``None`` is unknown/top — never reported)
+NM = "nm"
+UM = "um"
+PX = "px"
+NM_PER_PX = "nm_per_px"
+PS = "ps"
+NS = "ns"
+DIMLESS = "1"
+
+Unit = Optional[str]
+
+#: units that carry a physical dimension (mismatches are only reported
+#: between two of these; dimensionless and unknown combine silently) —
+#: every vocabulary unit except the explicit "1"
+_DIMENSIONAL = frozenset(ALIAS_UNITS.values()) - {DIMLESS}
+
+#: human labels for messages
+_LABELS = {
+    NM: "nm (wafer length)",
+    UM: "um (wafer length)",
+    PX: "px (raster samples)",
+    NM_PER_PX: "nm/px (raster pitch)",
+    PS: "ps (timing)",
+    NS: "ns (timing)",
+    "fF": "fF (capacitance)",
+    "kohm": "kohm (resistance)",
+    "inv_nm": "1/nm (spatial frequency)",
+    DIMLESS: "dimensionless",
+}
+
+#: the raster-boundary pair that ``missing-grid-conversion`` owns inside
+#: the grid modules
+_GRID_PAIR = frozenset({NM, PX})
+
+#: modules where the nm<->px boundary is crossed by design
+_GRID_PATH_FRAGMENT = "repro/litho/"
+
+#: builtins/numpy calls that preserve the unit of their first argument
+_UNIT_PRESERVING = frozenset({
+    "int", "float", "abs", "round", "sorted", "list", "tuple",
+    "floor", "ceil", "rint", "trunc", "absolute", "asarray", "array",
+    "copy", "ravel", "flip", "sort", "squeeze", "atleast_1d",
+})
+#: calls whose result combines every argument's unit (all must agree)
+_UNIT_COMBINING = frozenset({
+    "min", "max", "sum", "minimum", "maximum", "hypot", "interp",
+    "clip", "mean", "median", "std", "ptp", "diff", "concatenate",
+})
+#: calls that are dimensionless whatever their input
+_UNIT_SCRUBBING = frozenset({"len", "sign", "isfinite", "isnan", "bool"})
+
+_MAX_ROUNDS = 8
+
+
+def _name_unit(identifier: str) -> Unit:
+    """Unit conveyed by an identifier's naming convention, if any."""
+    if identifier in NAME_UNITS:
+        return NAME_UNITS[identifier]
+    for suffix, unit in SUFFIX_UNITS.items():
+        if identifier.endswith(suffix) and len(identifier) > len(suffix):
+            return unit
+    return None
+
+
+def _annotation_unit(node: Optional[ast.expr]) -> Unit:
+    """Unit declared by an annotation using a :mod:`repro.units` alias."""
+    simple = annotation_simple_name(node)
+    if simple is None:
+        return None
+    return ALIAS_UNITS.get(simple)
+
+
+def declared_param_unit(func: FunctionInfo, param: str) -> Unit:
+    """Annotation unit first, then the parameter's naming convention."""
+    args = func.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == param:
+            unit = _annotation_unit(arg.annotation)
+            if unit is not None:
+                return unit
+    return _name_unit(param)
+
+
+def combine_add(a: Unit, b: Unit) -> Tuple[Unit, bool]:
+    """Unit of ``a + b`` (or ``-``/comparison) and whether it mismatches.
+
+    Unknown and dimensionless sides are permissive — a bare numeric
+    constant may legitimately carry any unit — so only two *different*
+    dimensional units report.
+    """
+    if a in _DIMENSIONAL and b in _DIMENSIONAL and a != b:
+        return None, True
+    if a in _DIMENSIONAL:
+        return a, False
+    if b in _DIMENSIONAL:
+        return b, False
+    if a == DIMLESS and b == DIMLESS:
+        return DIMLESS, False
+    return None, False
+
+
+def combine_mul(a: Unit, b: Unit) -> Unit:
+    """Unit of ``a * b`` — the raster transport plus scaling identities."""
+    pair = {a, b}
+    if pair == {PX, NM_PER_PX}:
+        return NM
+    if a == DIMLESS:
+        return b
+    if b == DIMLESS:
+        return a
+    return None
+
+
+def combine_div(a: Unit, b: Unit) -> Unit:
+    """Unit of ``a / b`` — cancellation and the raster transport."""
+    if a is not None and a == b:
+        return DIMLESS
+    if a == NM and b == NM_PER_PX:
+        return PX
+    if a == NM and b == PX:
+        return NM_PER_PX
+    if b == DIMLESS:
+        return a
+    return None
+
+
+@dataclass(frozen=True, order=True)
+class UnitEvent:
+    """One observed unit mismatch at a source location."""
+
+    path: str
+    line: int
+    col: int
+    left: str
+    right: str
+    context: str  # "addition" | "subtraction" | "comparison"
+
+    @property
+    def pair(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def describe(self) -> str:
+        return (
+            f"{self.context} of {_LABELS.get(self.left, self.left)} and "
+            f"{_LABELS.get(self.right, self.right)}"
+        )
+
+
+class _UnitEvaluator:
+    """Single forward pass over one function body, tracking var units."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        func: Optional[FunctionInfo],
+        summaries: Dict[str, Unit],
+        attr_units: Dict[str, Dict[str, Unit]],
+        events: Optional[List[UnitEvent]] = None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.attr_units = attr_units
+        self.events = events
+        self.env: Dict[str, Unit] = {}
+        self.local_classes: Dict[str, str] = {}
+        self.return_unit: Unit = None
+        self._return_seen = False
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, unit, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            unit = _annotation_unit(stmt.annotation)
+            if unit is None and stmt.value is not None:
+                unit = self.eval(stmt.value)
+            elif stmt.value is not None:
+                self.eval(stmt.value)
+            self._bind(stmt.target, unit, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value_unit = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    unit, mismatch = combine_add(current, value_unit)
+                    if mismatch:
+                        self._record(stmt, current, value_unit,
+                                     "addition" if isinstance(stmt.op, ast.Add)
+                                     else "subtraction")
+                    self.env[stmt.target.id] = unit
+                elif isinstance(stmt.op, ast.Mult):
+                    self.env[stmt.target.id] = combine_mul(current, value_unit)
+                elif isinstance(stmt.op, ast.Div):
+                    self.env[stmt.target.id] = combine_div(current, value_unit)
+                else:
+                    self.env[stmt.target.id] = None
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self.eval(stmt.value)
+                if not self._return_seen:
+                    self.return_unit = unit
+                    self._return_seen = True
+                elif unit != self.return_unit:
+                    self.return_unit = None
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            unit = self.eval(stmt.iter)
+            # iterating a sequence of X yields X per element
+            self._bind(stmt.target, unit, None)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                unit = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, unit, None)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _bind(self, target: ast.expr, unit: Unit,
+              value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            # a naming convention on the target pins the unit when the
+            # value's unit is unknown (`width_px = compute()`), and a
+            # known value unit wins otherwise
+            declared = _name_unit(target.id)
+            self.env[target.id] = unit if unit is not None else declared
+            if isinstance(value, ast.Call):
+                cls_name = self._constructed_class(value)
+                if cls_name is not None:
+                    self.local_classes[target.id] = cls_name
+                else:
+                    self.local_classes.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, None, None)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, unit, None)
+
+    def _constructed_class(self, call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Name):
+            name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        else:
+            return None
+        prefer = self.func.module if self.func is not None else self.module.name
+        if self.project.resolve_class(name, prefer_module=prefer) is not None:
+            return name
+        return None
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, expr: ast.expr) -> Unit:
+        if isinstance(expr, ast.Constant):
+            # Numeric literals are dimensionless scalars: `width_nm / 2`
+            # stays in nm.  Everything else (strings, None) is unknown.
+            if not isinstance(expr.value, bool) and isinstance(expr.value, (int, float)):
+                return DIMLESS
+            return None
+        if isinstance(expr, ast.Name):
+            unit = self.env.get(expr.id)
+            if unit is not None:
+                return unit
+            if expr.id in self.env:
+                return None
+            return _name_unit(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.Compare):
+            self._eval_compare(expr)
+            return None
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.eval(value)
+            return None
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            left = self.eval(expr.body)
+            right = self.eval(expr.orelse)
+            return left if left == right else None
+        if isinstance(expr, ast.Subscript):
+            # an element of a sequence of X is an X
+            unit = self.eval(expr.value)
+            self.eval(expr.slice)
+            return unit
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            units = {self.eval(element) for element in expr.elts}
+            return units.pop() if len(units) == 1 else None
+        if isinstance(expr, ast.Dict):
+            for key in expr.keys:
+                if key is not None:
+                    self.eval(key)
+            for value in expr.values:
+                self.eval(value)
+            return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr.generators, expr.elt)
+        if isinstance(expr, ast.DictComp):
+            self._eval_comprehension(expr.generators, expr.value)
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            unit = self.eval(expr.value)
+            self._bind(expr.target, unit, expr.value)
+            return unit
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Yield):
+            return self.eval(expr.value) if expr.value is not None else None
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue, ast.Lambda)):
+            return None
+        return None
+
+    def _eval_comprehension(
+        self, generators: Sequence[ast.comprehension], elt: ast.expr
+    ) -> Unit:
+        for gen in generators:
+            unit = self.eval(gen.iter)
+            self._bind(gen.target, unit, None)
+            for condition in gen.ifs:
+                self.eval(condition)
+        return self.eval(elt)
+
+    def _eval_attribute(self, expr: ast.Attribute) -> Unit:
+        self.eval(expr.value)
+        named = _name_unit(expr.attr)
+        if named is not None:
+            return named
+        cls = self._receiver_class_info(expr.value)
+        if cls is not None:
+            table = self.attr_units.get(cls.qualname)
+            if table and expr.attr in table:
+                return table[expr.attr]
+            getter = self.project.resolve_method(cls, expr.attr)
+            if getter is not None and getter.is_property:
+                return self.summaries.get(getter.qualname)
+        return None
+
+    def _receiver_class_info(self, receiver: ast.expr):
+        if not isinstance(receiver, ast.Name) or self.func is None:
+            return None
+        return self.project._receiver_class(
+            self.func, receiver.id, self.local_classes
+        )
+
+    def _eval_binop(self, expr: ast.BinOp) -> Unit:
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            unit, mismatch = combine_add(left, right)
+            if mismatch:
+                context = "addition" if isinstance(expr.op, ast.Add) else "subtraction"
+                self._record(expr, left, right, context)
+            return unit
+        if isinstance(expr.op, ast.Mult):
+            return combine_mul(left, right)
+        if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+            return combine_div(left, right)
+        if isinstance(expr.op, ast.Mod):
+            return left
+        return None
+
+    def _eval_compare(self, expr: ast.Compare) -> None:
+        units = [self.eval(expr.left)]
+        units.extend(self.eval(comparator) for comparator in expr.comparators)
+        known = [u for u in units if u in _DIMENSIONAL]
+        for index in range(len(units) - 1):
+            a, b = units[index], units[index + 1]
+            if a in _DIMENSIONAL and b in _DIMENSIONAL and a != b:
+                self._record(expr, a, b, "comparison")
+        # membership/identity chains with one dimensional side are fine
+        del known
+
+    def _eval_call(self, call: ast.Call) -> Unit:
+        arg_units = [self.eval(arg) for arg in call.args]
+        kw_units: Dict[str, Unit] = {}
+        for keyword in call.keywords:
+            kw_units[keyword.arg or "**"] = self.eval(keyword.value)
+
+        name = self._call_simple_name(call)
+        if name in _UNIT_SCRUBBING:
+            return DIMLESS
+        if name in _UNIT_PRESERVING:
+            return arg_units[0] if arg_units else None
+        if name in _UNIT_COMBINING:
+            known = {u for u in arg_units if u is not None and u != DIMLESS}
+            if len(known) == 1:
+                return known.pop()
+            return None
+
+        callee = None
+        if self.func is not None:
+            callee = self.project.resolve_call(
+                self.func, call.func, self.local_classes
+            )
+        if callee is not None:
+            unit = self.summaries.get(callee.qualname)
+            if unit is not None:
+                return unit
+            declared = _annotation_unit(callee.node.returns)
+            if declared is not None:
+                return declared
+            return _name_unit(callee.name)
+        if name is not None:
+            return _name_unit(name)
+        return None
+
+    @staticmethod
+    def _call_simple_name(call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return None
+
+    def _record(self, node: ast.AST, left: Unit, right: Unit,
+                context: str) -> None:
+        if self.events is None or left is None or right is None:
+            return
+        self.events.append(UnitEvent(
+            path=self.module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            left=left,
+            right=right,
+            context=context,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Project-level analysis (shared by the three rules)
+# ---------------------------------------------------------------------------
+
+
+def class_attr_units(project: Project) -> Dict[str, Dict[str, Unit]]:
+    """Per-class field units from annotated class bodies + conventions."""
+    cached = project.analysis_cache.get("unit-attr-units")
+    if isinstance(cached, dict):
+        return cached
+    tables: Dict[str, Dict[str, Unit]] = {}
+    for qualname in sorted(project.classes):
+        cls = project.classes[qualname]
+        table: Dict[str, Unit] = {}
+        for item in cls.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                unit = _annotation_unit(item.annotation)
+                if unit is None:
+                    unit = _name_unit(item.target.id)
+                if unit is not None:
+                    table[item.target.id] = unit
+        if table:
+            tables[qualname] = table
+    project.analysis_cache["unit-attr-units"] = tables
+    return tables
+
+
+def compute_unit_summaries(project: Project) -> Dict[str, Unit]:
+    """Return-unit summary per function qualname, to a fixpoint."""
+    cached = project.analysis_cache.get("unit-summaries")
+    if isinstance(cached, dict):
+        return cached
+    attr_units = class_attr_units(project)
+    summaries: Dict[str, Unit] = {}
+    for qualname in sorted(project.functions):
+        func = project.functions[qualname]
+        declared = _annotation_unit(func.node.returns)
+        summaries[qualname] = declared
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for qualname in sorted(project.functions):
+            func = project.functions[qualname]
+            declared = _annotation_unit(func.node.returns)
+            if declared is not None:
+                continue  # annotation is authoritative
+            module = project.modules.get(func.module)
+            if module is None:
+                continue
+            evaluator = _UnitEvaluator(project, module, func, summaries,
+                                       attr_units)
+            for param in func.params:
+                evaluator.env[param] = declared_param_unit(func, param)
+            evaluator.exec_block(func.node.body)
+            inferred = evaluator.return_unit
+            if inferred is None:
+                inferred = _name_unit(func.name)
+            if inferred != summaries[qualname]:
+                summaries[qualname] = inferred
+                changed = True
+        if not changed:
+            break
+    project.analysis_cache["unit-summaries"] = summaries
+    return summaries
+
+
+def unit_events(project: Project) -> List[UnitEvent]:
+    """Every unit-mismatch event in the selected modules (cached)."""
+    cached = project.analysis_cache.get("unit-events")
+    if isinstance(cached, list):
+        return cached
+    summaries = compute_unit_summaries(project)
+    attr_units = class_attr_units(project)
+    events: List[UnitEvent] = []
+    for module in project.iter_selected_modules():
+        for qualname in sorted(project.functions):
+            func = project.functions[qualname]
+            if func.module != module.name or func.path != module.path:
+                continue
+            evaluator = _UnitEvaluator(project, module, func, summaries,
+                                       attr_units, events=events)
+            for param in func.params:
+                evaluator.env[param] = declared_param_unit(func, param)
+            evaluator.exec_block(func.node.body)
+    deduped: Dict[Tuple[str, int, int, frozenset, str], UnitEvent] = {}
+    for event in events:
+        key = (event.path, event.line, event.col, event.pair, event.context)
+        deduped.setdefault(key, event)
+    out = sorted(deduped.values())
+    project.analysis_cache["unit-events"] = out
+    return out
+
+
+def _is_grid_event(event: UnitEvent) -> bool:
+    return (
+        event.pair == _GRID_PAIR
+        and _GRID_PATH_FRAGMENT in event.path.replace("\\", "/")
+    )
+
+
+@register
+class UnitMismatchRule(ProjectRule):
+    """Two different physical units may not be added or compared.
+
+    nm + px, ps < ns, um - nm: each is a silent scale error the type
+    checker cannot see (every one of these is ``float``).  The nm/px
+    flavour inside the raster modules is reported separately as
+    ``missing-grid-conversion``.
+    """
+
+    id = "unit-mismatch"
+    title = "no addition/comparison across physical units"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for event in unit_events(project):
+            if _is_grid_event(event):
+                continue
+            yield Finding(
+                event.path, event.line, event.col, self.id,
+                f"{event.describe()} — same-unit operands required; convert "
+                "explicitly (see repro.units) or annotate the intended unit",
+            )
+
+
+@register
+class MissingGridConversionRule(ProjectRule):
+    """Crossing the raster boundary requires a ``pixel`` multiply/divide.
+
+    Inside ``repro/litho/`` the nm<->px transition is routine — and every
+    crossing must go through the grid pitch (``x_px = x_nm / pixel``,
+    ``x_nm = x_px * pixel``).  An nm value meeting a px value in a sum or
+    comparison skipped that conversion.
+    """
+
+    id = "missing-grid-conversion"
+    title = "nm<->px crossing without a pixel multiply/divide"
+
+    def applies_to(self, path: str) -> bool:
+        return _GRID_PATH_FRAGMENT in path
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for event in unit_events(project):
+            if not _is_grid_event(event):
+                continue
+            yield Finding(
+                event.path, event.line, event.col, self.id,
+                f"{event.describe()} crosses the raster boundary without a "
+                "grid conversion; multiply/divide by the pixel pitch "
+                "(nm/px) on one side first",
+            )
+
+
+#: path fragments whose public float-returning APIs must carry a unit
+_RETURN_SCOPES = ("repro/litho/", "repro/metrology/", "repro/timing/")
+
+
+@register
+class UnitUnsafeReturnRule(ProjectRule):
+    """Public physics APIs must say what unit their floats are in.
+
+    A bare ``-> float`` from a litho/metrology/timing API is how nm
+    quietly becomes px three calls later.  The rule fires when the
+    interpreter cannot establish the unit either (no alias annotation,
+    no naming convention, no inferable flow); annotate the return with a
+    :mod:`repro.units` alias — ``Dimensionless`` is an explicit answer
+    too.
+    """
+
+    id = "unit-unsafe-return"
+    title = "public litho/metrology/timing API returns unit-less float"
+
+    def applies_to(self, path: str) -> bool:
+        return any(fragment in path for fragment in _RETURN_SCOPES)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = compute_unit_summaries(project)
+        for module in project.iter_selected_modules():
+            norm = module.path.replace("\\", "/")
+            if not any(fragment in norm for fragment in _RETURN_SCOPES):
+                continue
+            for qualname in sorted(project.functions):
+                func = project.functions[qualname]
+                if func.module != module.name or func.path != module.path:
+                    continue
+                if func.name.startswith("_"):
+                    continue
+                returns = func.node.returns
+                if annotation_simple_name(returns) != "float":
+                    continue  # only bare floats are unit-unsafe
+                if _annotation_unit(returns) is not None:
+                    continue
+                if summaries.get(qualname) is not None:
+                    continue
+                if _name_unit(func.name) is not None:
+                    continue
+                yield Finding(
+                    func.path, func.node.lineno, func.node.col_offset,
+                    self.id,
+                    f"public API {func.display!r} returns a bare float with "
+                    "no establishable unit; annotate the return with a "
+                    "repro.units alias (Nanometers, Picoseconds, "
+                    "Dimensionless, ...)",
+                )

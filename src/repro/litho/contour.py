@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.geometry import Point, Polygon
+from repro.units import Dimensionless, Nanometers, NmPerPixel
 
 # For each marching-squares case, the crossed edge pairs (entry, exit).
 # Edges are numbered 0=bottom, 1=right, 2=top, 3=left of the cell.
@@ -32,10 +33,10 @@ _SEGMENTS: Dict[int, List[Tuple[int, int]]] = {
 
 def marching_squares(
     field: np.ndarray,
-    level: float,
-    x0: float = 0.0,
-    y0: float = 0.0,
-    pixel: float = 1.0,
+    level: Dimensionless,
+    x0: Nanometers = 0.0,
+    y0: Nanometers = 0.0,
+    pixel: NmPerPixel = 1.0,
     pad_value: float = None,
 ) -> List[Polygon]:
     """Extract closed iso-``level`` contours of a 2-D scalar field.
@@ -127,7 +128,7 @@ def marching_squares(
     return polygons
 
 
-def contours_of_latent(latent, threshold: float) -> List[Polygon]:
+def contours_of_latent(latent, threshold: Dimensionless) -> List[Polygon]:
     """Printed contours of a latent image (see :class:`ResistModel`)."""
     return marching_squares(
         latent.intensity, threshold, x0=latent.x0, y0=latent.y0, pixel=latent.pixel

@@ -22,15 +22,16 @@ from repro.litho.pupil import Pupil
 from repro.litho.raster import MaskGrid
 from repro.litho.source import SourcePoint, make_source
 from repro.pdk import LithoSettings
+from repro.units import Dimensionless, Nanometers, NmPerPixel
 
 
 @dataclass
 class AerialImage:
     """Sampled image intensity over a simulation window (clear field = 1)."""
 
-    x0: float
-    y0: float
-    pixel: float
+    x0: Nanometers
+    y0: Nanometers
+    pixel: NmPerPixel
     intensity: np.ndarray  # (ny, nx)
 
     @property
@@ -41,7 +42,7 @@ class AerialImage:
     def ny(self) -> int:
         return self.intensity.shape[0]
 
-    def value_at(self, x: float, y: float) -> float:
+    def value_at(self, x: Nanometers, y: Nanometers) -> Dimensionless:
         """Bilinear interpolation at an arbitrary point (pixel centers)."""
         gx = (x - self.x0) / self.pixel - 0.5
         gy = (y - self.y0) / self.pixel - 0.5
@@ -74,7 +75,12 @@ class AerialImage:
         ).reshape(np.shape(xs))
 
     def profile(
-        self, x_start: float, y_start: float, x_end: float, y_end: float, samples: int = 64
+        self,
+        x_start: Nanometers,
+        y_start: Nanometers,
+        x_end: Nanometers,
+        y_end: Nanometers,
+        samples: int = 64,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Intensity along a cutline; returns (distances, intensities)."""
         ts = np.linspace(0.0, 1.0, samples)

@@ -19,16 +19,17 @@ from repro.geometry import Polygon, Rect
 from repro.litho.imaging import AerialImage
 from repro.litho.resist import NOMINAL, ProcessCondition
 from repro.litho.simulator import LithographySimulator, measure_cd_on_cutline
+from repro.units import Dimensionless, Nanometers
 
 
 def nils_at_edge(
     latent: AerialImage,
-    x_edge: float,
-    y: float,
-    feature_width: float,
-    span: float = 12.0,
+    x_edge: Nanometers,
+    y: Nanometers,
+    feature_width: Nanometers,
+    span: Nanometers = 12.0,
     horizontal: bool = True,
-) -> float:
+) -> Dimensionless:
     """NILS at a vertical (default) feature edge located at ``x_edge``.
 
     The log-slope is estimated by central difference over ``span`` nm;
@@ -48,11 +49,11 @@ def nils_at_edge(
 
 def grating_nils(
     simulator: LithographySimulator,
-    line_width: float,
-    pitch: float,
+    line_width: Nanometers,
+    pitch: Nanometers,
     n_lines: int = 7,
     condition: ProcessCondition = NOMINAL,
-) -> float:
+) -> Dimensionless:
     """NILS of the center line of a grating at its drawn edge."""
     length = 10 * pitch
     lines = [
@@ -69,12 +70,12 @@ def grating_nils(
 
 def grating_meef(
     simulator: LithographySimulator,
-    line_width: float,
-    pitch: float,
-    mask_bias: float = 2.0,
+    line_width: Nanometers,
+    pitch: Nanometers,
+    mask_bias: Nanometers = 2.0,
     n_lines: int = 7,
     condition: ProcessCondition = NOMINAL,
-) -> float:
+) -> Dimensionless:
     """MEEF of the center grating line via a symmetric mask-CD perturbation.
 
     All lines are biased together (the standard through-pitch MEEF
@@ -101,12 +102,12 @@ def grating_meef(
 
 def dose_latitude_percent(
     simulator: LithographySimulator,
-    line_width: float,
-    pitch: float,
-    cd_tolerance: float = None,
-    probe_step: float = 0.02,
+    line_width: Nanometers,
+    pitch: Nanometers,
+    cd_tolerance: Nanometers = None,
+    probe_step: Dimensionless = 0.02,
     condition: ProcessCondition = NOMINAL,
-) -> float:
+) -> Dimensionless:
     """Exposure latitude: the +-dose range (in %) keeping the printed CD
     within ``cd_tolerance`` (default 10% of the drawn CD)."""
     if cd_tolerance is None:

@@ -8,6 +8,7 @@ from typing import Dict
 import numpy as np
 
 from repro.pdk import LithoSettings
+from repro.units import PerNanometer
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,6 @@ class Pupil:
         return np.where(inside, phase, 0.0 + 0.0j)
 
     @property
-    def cutoff(self) -> float:
+    def cutoff(self) -> PerNanometer:
         """Pupil cutoff frequency NA/lambda in 1/nm."""
         return self.settings.numerical_aperture / self.settings.wavelength

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry import Polygon, Rect, decompose_rectilinear
+from repro.units import Nanometers, NmPerPixel
 
 
 @dataclass
@@ -26,9 +27,9 @@ class MaskGrid:
     left corner is ``(x0 + i*pixel, y0 + j*pixel)``.
     """
 
-    x0: float
-    y0: float
-    pixel: float
+    x0: Nanometers
+    y0: Nanometers
+    pixel: NmPerPixel
     data: np.ndarray  # shape (ny, nx), float64 in [0, 1]
 
     @property
@@ -57,7 +58,8 @@ class MaskGrid:
         return xs, ys
 
 
-def _interval_coverage(a: float, b: float, start: float, pixel: float, n: int) -> np.ndarray:
+def _interval_coverage(a: Nanometers, b: Nanometers, start: Nanometers,
+                       pixel: NmPerPixel, n: int) -> np.ndarray:
     """Fractional 1-D coverage of interval [a, b] over n bins of width
     ``pixel`` beginning at ``start``."""
     cov = np.zeros(n)
@@ -85,7 +87,7 @@ def _interval_coverage(a: float, b: float, start: float, pixel: float, n: int) -
 
 
 def rasterize(
-    polygons: Sequence[Polygon], region: Rect, pixel: float
+    polygons: Sequence[Polygon], region: Rect, pixel: NmPerPixel
 ) -> MaskGrid:
     """Rasterize rectilinear ``polygons`` clipped to ``region``.
 
@@ -112,7 +114,7 @@ def rasterize(
     return grid
 
 
-def rasterize_rects(rects: Sequence[Rect], region: Rect, pixel: float) -> MaskGrid:
+def rasterize_rects(rects: Sequence[Rect], region: Rect, pixel: NmPerPixel) -> MaskGrid:
     """Rasterize plain rectangles (no polygon decomposition step)."""
     polys = [Polygon.from_rect(r) for r in rects if not r.is_degenerate()]
     return rasterize(polys, region, pixel)

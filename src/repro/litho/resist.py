@@ -16,13 +16,14 @@ from scipy import ndimage
 
 from repro.litho.imaging import AerialImage
 from repro.pdk import LithoSettings
+from repro.units import Dimensionless
 
 
 @dataclass(frozen=True)
 class ProcessCondition:
     """One exposure condition of the process window."""
 
-    dose: float = 1.0       # relative to nominal
+    dose: Dimensionless = 1.0       # relative to nominal
     defocus_nm: float = 0.0
 
     def __post_init__(self):
@@ -41,7 +42,7 @@ NOMINAL = ProcessCondition()
 class ResistModel:
     """CTR resist: Gaussian diffusion plus a dose-scaled threshold."""
 
-    threshold: float
+    threshold: Dimensionless
     diffusion_nm: float = 20.0
     #: dark features (chrome lines) leave resist where intensity < threshold
     dark_feature: bool = True
@@ -59,7 +60,7 @@ class ResistModel:
         if self.diffusion_nm < 0:
             raise ValueError("diffusion must be non-negative")
 
-    def latent_image(self, image: AerialImage, dose: float = 1.0) -> AerialImage:
+    def latent_image(self, image: AerialImage, dose: Dimensionless = 1.0) -> AerialImage:
         """Diffused, dose-scaled image whose ``threshold`` level set is the
         resist edge."""
         blurred = image.intensity
@@ -68,16 +69,16 @@ class ResistModel:
             blurred = ndimage.gaussian_filter(blurred, sigma=sigma_px, mode="nearest")
         return AerialImage(image.x0, image.y0, image.pixel, blurred * dose)
 
-    def effective_threshold(self) -> float:
+    def effective_threshold(self) -> Dimensionless:
         return self.threshold
 
-    def develop(self, image: AerialImage, dose: float = 1.0) -> np.ndarray:
+    def develop(self, image: AerialImage, dose: Dimensionless = 1.0) -> np.ndarray:
         """Boolean resist map: True where resist (the printed feature) remains."""
         latent = self.latent_image(image, dose)
         if self.dark_feature:
             return latent.intensity < self.threshold
         return latent.intensity >= self.threshold
 
-    def edge_level(self) -> float:
+    def edge_level(self) -> Dimensionless:
         """The intensity level of the printed edge in the latent image."""
         return self.threshold

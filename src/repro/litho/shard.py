@@ -28,6 +28,7 @@ from repro.geometry import GridIndex, Polygon, Rect
 from repro.litho.contour import contours_of_latent
 from repro.litho.resist import NOMINAL, ProcessCondition
 from repro.litho.simulator import LithographySimulator, TileSpec
+from repro.units import Nanometers
 
 #: largest shard window (pixels per side, halo included).  The sweet spot
 #: of halo amortization vs FFT N^2 log N growth measured on this stack.
@@ -59,11 +60,11 @@ class ShardGrid:
         return self.nx * self.ny
 
     @property
-    def span_x(self) -> float:
+    def span_x(self) -> Nanometers:
         return self.region.width / self.nx
 
     @property
-    def span_y(self) -> float:
+    def span_y(self) -> Nanometers:
         return self.region.height / self.ny
 
     def interior(self, index: int) -> Rect:

@@ -19,6 +19,7 @@ from repro.litho.imaging import AerialImage, OpticalModel
 from repro.litho.raster import rasterize
 from repro.litho.resist import NOMINAL, ProcessCondition, ResistModel
 from repro.pdk import LithoSettings, Technology
+from repro.units import Dimensionless, Nanometers
 
 #: default interaction halo; ~4x lambda/NA — beyond the proximity range, and
 #: big enough that periodic-replica (FFT wrap) CD noise stays under ~0.5 nm
@@ -219,11 +220,11 @@ class LithographySimulator:
 
     def calibrate_to_anchor(
         self,
-        line_width: float,
-        pitch: float,
+        line_width: Nanometers,
+        pitch: Nanometers,
         n_lines: int = 7,
         condition: ProcessCondition = NOMINAL,
-    ) -> float:
+    ) -> Dimensionless:
         """Re-anchor the resist threshold so the anchor grating prints on
         target.
 
@@ -296,12 +297,12 @@ def cd_through_pitch(
 
 def measure_cd_on_cutline(
     latent: AerialImage,
-    threshold: float,
-    x_start: float,
-    x_end: float,
-    y: float,
+    threshold: Dimensionless,
+    x_start: Nanometers,
+    x_end: Nanometers,
+    y: Nanometers,
     samples: int = 256,
-) -> float:
+) -> Nanometers:
     """Width of the below-threshold (dark feature) span on a horizontal
     cutline, located with linear sub-sample interpolation.
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.geometry import Polygon, Rect
 from repro.litho.resist import ProcessCondition
 from repro.litho.simulator import LithographySimulator, measure_cd_on_cutline
+from repro.units import Dimensionless, Nanometers
 
 
 @dataclass
@@ -72,17 +73,17 @@ def bossung_data(
 class ProcessWindow:
     """Per-defocus exposure latitude, and the overall depth of focus."""
 
-    cd_tolerance: float
+    cd_tolerance: Nanometers
     #: defocus -> (min passing dose, max passing dose); missing = no window
     latitude: Dict[float, Tuple[float, float]]
 
-    def exposure_latitude_percent(self, defocus: float) -> float:
+    def exposure_latitude_percent(self, defocus: Nanometers) -> Dimensionless:
         if defocus not in self.latitude:
             return 0.0
         lo, hi = self.latitude[defocus]
         return 100.0 * (hi - lo) / ((hi + lo) / 2)
 
-    def depth_of_focus(self, min_latitude_percent: float = 3.0) -> float:
+    def depth_of_focus(self, min_latitude_percent: Dimensionless = 3.0) -> Nanometers:
         """Largest defocus still offering the required exposure latitude.
 
         Defocus is sampled one-sided (the pupil is symmetric in z to first

@@ -14,6 +14,7 @@ from typing import Hashable, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.metrology.gate_cd import GateCdMeasurement
+from repro.units import Nanometers
 
 
 @dataclass(frozen=True)
@@ -21,17 +22,17 @@ class CdStatistics:
     """Population summary of CD errors (printed minus drawn, nm)."""
 
     count: int
-    mean: float
-    sigma: float
-    minimum: float
-    maximum: float
+    mean: Nanometers
+    sigma: Nanometers
+    minimum: Nanometers
+    maximum: Nanometers
 
     @property
-    def range(self) -> float:
+    def range(self) -> Nanometers:
         return self.maximum - self.minimum
 
     @property
-    def three_sigma(self) -> float:
+    def three_sigma(self) -> Nanometers:
         return 3.0 * self.sigma
 
     def __str__(self) -> str:
@@ -58,7 +59,7 @@ def summarize_cds(measurements: Mapping[Hashable, GateCdMeasurement]) -> CdStati
 
 def histogram_of_errors(
     measurements: Mapping[Hashable, GateCdMeasurement],
-    bin_width: float = 1.0,
+    bin_width: Nanometers = 1.0,
 ) -> List[Tuple[float, int]]:
     """(bin center, count) histogram of CD errors for report printing."""
     errors = [m.error for m in measurements.values() if m.printed]

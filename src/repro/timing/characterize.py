@@ -19,6 +19,7 @@ from repro.cells import CellLibrary, StandardCell
 from repro.cells.stdcell import unate_inputs
 from repro.device import AlphaPowerModel
 from repro.timing.liberty import LibertyCell, LibertyLibrary, TimingArc, TimingTable
+from repro.units import Femtofarads, Kiloohms
 
 #: default NLDM axes: input slew (ps), output load (fF)
 DEFAULT_SLEWS: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0, 120.0, 240.0)
@@ -32,7 +33,7 @@ RC_TO_SLEW = 2.2
 
 def effective_resistance_kohm(
     cell: StandardCell, mos_type: str, model: AlphaPowerModel
-) -> float:
+) -> Kiloohms:
     """Switching resistance of the pull network, in kOhm.
 
     The network strength is an equivalent W/L; the drive current of that
@@ -44,7 +45,7 @@ def effective_resistance_kohm(
     return 0.7 * model.params.vdd / current / 1000.0
 
 
-def parasitic_cap_ff(cell: StandardCell, model: AlphaPowerModel) -> float:
+def parasitic_cap_ff(cell: StandardCell, model: AlphaPowerModel) -> Femtofarads:
     """Output-node parasitic (drain junction + wiring stub) in fF.
 
     Approximated as 40% of the gate capacitance of the devices on the

@@ -16,6 +16,7 @@ from repro.circuits import Netlist
 from repro.device import AlphaPowerModel, extract_equivalent_lengths
 from repro.metrology.gate_cd import GateCdMeasurement
 from repro.timing.sta import InstanceDerate
+from repro.units import Dimensionless
 
 
 def derates_from_measurements(
@@ -96,7 +97,7 @@ def _strength_ratio(
     mos_type: str,
     overrides: Mapping[str, Tuple[float, float]],
     model: AlphaPowerModel,
-) -> float:
+) -> Dimensionless:
     """delay scale = I_drawn / I_printed for the given network.
 
     The drive current of the network-equivalent device is evaluated at its

@@ -17,6 +17,7 @@ from repro.timing.sta import (
     TimingConstraints,
     TRANSITIONS,
 )
+from repro.units import Picoseconds
 
 _NO_DERATE = InstanceDerate()
 
@@ -26,11 +27,11 @@ class HoldEndpoint:
     gate: str
     net: str
     transition: str
-    earliest_arrival: float
-    hold_time: float
+    earliest_arrival: Picoseconds
+    hold_time: Picoseconds
 
     @property
-    def slack(self) -> float:
+    def slack(self) -> Picoseconds:
         return self.earliest_arrival - self.hold_time
 
 
@@ -42,7 +43,7 @@ class HoldResult:
     endpoints: List[HoldEndpoint] = field(default_factory=list)
 
     @property
-    def worst_hold_slack(self) -> float:
+    def worst_hold_slack(self) -> Picoseconds:
         if not self.endpoints:
             return float("inf")
         return min(e.slack for e in self.endpoints)

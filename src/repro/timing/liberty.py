@@ -12,6 +12,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.units import Femtofarads, Picoseconds
+
 
 @dataclass(frozen=True)
 class TimingTable:
@@ -31,7 +33,7 @@ class TimingTable:
         if any(len(row) != len(self.loads) for row in self.values):
             raise ValueError("column count must match load axis")
 
-    def lookup(self, slew: float, load: float) -> float:
+    def lookup(self, slew: Picoseconds, load: Femtofarads) -> Picoseconds:
         """Bilinear interpolation; clamps outside the table envelope."""
         i0, i1, ti = _bracket(self.slews, slew)
         j0, j1, tj = _bracket(self.loads, load)
@@ -104,13 +106,13 @@ class LibertyCell:
     is_sequential: bool = False
     clock_pin: str = ""
     #: ps, clock-to-Q for sequential cells
-    clk_to_q: float = 0.0
-    setup_time: float = 0.0
+    clk_to_q: Picoseconds = 0.0
+    setup_time: Picoseconds = 0.0
 
     def arcs_from(self, pin: str) -> List[TimingArc]:
         return [arc for arc in self.arcs if arc.input_pin == pin]
 
-    def capacitance(self, pin: str) -> float:
+    def capacitance(self, pin: str) -> Femtofarads:
         if pin not in self.input_caps:
             raise KeyError(f"cell {self.name} has no input pin {pin!r}")
         return self.input_caps[pin]

@@ -20,6 +20,7 @@ from repro.circuits import Netlist
 from repro.device import AlphaPowerModel
 from repro.place.placer import Placement
 from repro.timing.sta import InstanceDerate, StaEngine, TimingConstraints
+from repro.units import Dimensionless, Picoseconds
 
 
 @dataclass(frozen=True)
@@ -65,21 +66,21 @@ class MonteCarloResult:
             raise ValueError("no samples")
 
     @property
-    def mean_wns(self) -> float:
+    def mean_wns(self) -> Picoseconds:
         self._require_samples()
         return sum(self.wns_samples) / len(self.wns_samples)
 
     @property
-    def sigma_wns(self) -> float:
+    def sigma_wns(self) -> Picoseconds:
         mean = self.mean_wns
         return (sum((x - mean) ** 2 for x in self.wns_samples) / len(self.wns_samples)) ** 0.5
 
     @property
-    def min_wns(self) -> float:
+    def min_wns(self) -> Picoseconds:
         self._require_samples()
         return min(self.wns_samples)
 
-    def percentile_wns(self, q: float) -> float:
+    def percentile_wns(self, q: Dimensionless) -> Picoseconds:
         """Nearest-rank percentile: the ceil(q/100 * n)-th order statistic.
 
         The previous ``int(q/100 * n)`` truncation was biased one rank

@@ -16,6 +16,7 @@ from repro.cells import CellLibrary
 from repro.circuits import Netlist
 from repro.place.placer import Placement
 from repro.timing.liberty import LibertyLibrary
+from repro.units import Dimensionless, Femtofarads, Picoseconds
 
 TRANSITIONS = ("rise", "fall")
 
@@ -51,9 +52,9 @@ class InstanceDerate:
     A ``failed`` instance records a catastrophic printability fault.
     """
 
-    delay_rise_scale: float = 1.0
-    delay_fall_scale: float = 1.0
-    cap_scale: float = 1.0
+    delay_rise_scale: Dimensionless = 1.0
+    delay_fall_scale: Dimensionless = 1.0
+    cap_scale: Dimensionless = 1.0
     failed: bool = False
 
 
@@ -61,11 +62,11 @@ class InstanceDerate:
 class Endpoint:
     net: str
     transition: str
-    arrival: float
-    required: float
+    arrival: Picoseconds
+    required: Picoseconds
 
     @property
-    def slack(self) -> float:
+    def slack(self) -> Picoseconds:
         return self.required - self.arrival
 
 
@@ -89,24 +90,24 @@ class StaResult:
         return min(self.endpoints, key=lambda e: e.slack)
 
     @property
-    def wns(self) -> float:
+    def wns(self) -> Picoseconds:
         """Worst negative slack (most critical slack; may be positive)."""
         return self.worst_endpoint.slack
 
     @property
-    def tns(self) -> float:
+    def tns(self) -> Picoseconds:
         """Total negative slack."""
         return sum(min(e.slack, 0.0) for e in self.endpoints)
 
     @property
-    def critical_delay(self) -> float:
+    def critical_delay(self) -> Picoseconds:
         """Longest arrival over all endpoints."""
         return max(e.arrival for e in self.endpoints)
 
     def endpoint_slacks(self) -> Dict[Tuple[str, str], float]:
         return {(e.net, e.transition): e.slack for e in self.endpoints}
 
-    def slack_of(self, net: str) -> float:
+    def slack_of(self, net: str) -> Picoseconds:
         """Worst slack over transitions at one endpoint net."""
         slacks = [e.slack for e in self.endpoints if e.net == net]
         if not slacks:

@@ -1,0 +1,127 @@
+"""Physical-unit vocabulary for the repro signal chain.
+
+The whole pipeline is unit transport: drawn CDs in **nm** are rasterized
+onto a **pixel** grid (``pixel`` = nm per pixel), contoured back to nm,
+turned into dimensionless derate scales, and finally into **ps**-scale
+timing.  These aliases make that transport explicit in signatures and
+dataclass fields::
+
+    def value_at(self, x: Nanometers, y: Nanometers) -> Dimensionless: ...
+
+At runtime every alias *is* ``float`` (``typing.Annotated`` erases to its
+base), so annotating an API changes nothing about execution or mypy
+strictness.  The payoff is static: ``repro lint`` seeds its unit lattice
+from these aliases (and from the naming conventions tabled below) and
+propagates them interprocedurally, so adding nm to px, or returning an
+unlabelled float from a metrology API, becomes a lint finding
+(``unit-mismatch`` / ``missing-grid-conversion`` / ``unit-unsafe-return``
+in :mod:`repro.lintcheck.units`).
+
+Conventions the linter recognizes without an annotation:
+
+===============  ==========================================
+name shape       unit
+===============  ==========================================
+``*_nm``         nanometres
+``*_um``         micrometres
+``*_px``         pixels
+``*_ps``         picoseconds
+``*_ns``         nanoseconds
+``pixel``        nm per pixel (the raster conversion factor)
+``pixel_nm``     nm per pixel (same factor, settings name)
+===============  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Annotated, Dict
+
+
+@dataclass(frozen=True)
+class Unit:
+    """Annotation marker naming the physical unit of a value."""
+
+    name: str
+
+
+#: lengths in layout/wafer space
+Nanometers = Annotated[float, Unit("nm")]
+Micrometers = Annotated[float, Unit("um")]
+#: positions/sizes on the raster grid (image sample space)
+Pixels = Annotated[float, Unit("px")]
+#: the raster conversion factor: how many nm one pixel spans
+NmPerPixel = Annotated[float, Unit("nm_per_px")]
+#: timing quantities
+Picoseconds = Annotated[float, Unit("ps")]
+Nanoseconds = Annotated[float, Unit("ns")]
+#: electrical quantities of the delay model (load caps, driver resistance)
+Femtofarads = Annotated[float, Unit("fF")]
+Kiloohms = Annotated[float, Unit("kohm")]
+#: spatial frequency (pupil cutoff NA/lambda and friends)
+PerNanometer = Annotated[float, Unit("inv_nm")]
+#: explicitly unitless quantities (ratios, scales, intensities)
+Dimensionless = Annotated[float, Unit("1")]
+
+#: alias simple name -> lattice unit name, the seed table the lint reads
+ALIAS_UNITS: Dict[str, str] = {
+    "Nanometers": "nm",
+    "Micrometers": "um",
+    "Pixels": "px",
+    "NmPerPixel": "nm_per_px",
+    "Picoseconds": "ps",
+    "Nanoseconds": "ns",
+    "Femtofarads": "fF",
+    "Kiloohms": "kohm",
+    "PerNanometer": "inv_nm",
+    "Dimensionless": "1",
+}
+
+#: identifier suffix -> unit (matched on variables, parameters, attributes)
+SUFFIX_UNITS: Dict[str, str] = {
+    "_nm": "nm",
+    "_um": "um",
+    "_px": "px",
+    "_ps": "ps",
+    "_ns": "ns",
+    "_ff": "fF",
+    "_kohm": "kohm",
+}
+
+#: exact identifier/attribute names with a fixed conventional unit
+NAME_UNITS: Dict[str, str] = {
+    "pixel": "nm_per_px",
+    "pixel_nm": "nm_per_px",
+    "defocus": "nm",
+    "wavelength": "nm",
+    "ambit": "nm",
+}
+
+PS_PER_NS = 1000.0
+NM_PER_UM = 1000.0
+
+
+def nm_to_px(value_nm: Nanometers, pixel: NmPerPixel) -> Pixels:
+    """Convert a wafer-space length to raster samples."""
+    if pixel <= 0:
+        raise ValueError("pixel must be positive")
+    return value_nm / pixel
+
+
+def px_to_nm(value_px: Pixels, pixel: NmPerPixel) -> Nanometers:
+    """Convert a raster-space length back to wafer nanometres."""
+    if pixel <= 0:
+        raise ValueError("pixel must be positive")
+    return value_px * pixel
+
+
+def ns_to_ps(value_ns: Nanoseconds) -> Picoseconds:
+    return value_ns * PS_PER_NS
+
+
+def ps_to_ns(value_ps: Picoseconds) -> Nanoseconds:
+    return value_ps / PS_PER_NS
+
+
+def um_to_nm(value_um: Micrometers) -> Nanometers:
+    return value_um * NM_PER_UM

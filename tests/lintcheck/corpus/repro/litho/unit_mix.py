@@ -1,0 +1,37 @@
+"""Deliberate physical-unit violations — the units-rule corpus.
+
+Lives under ``repro/litho/`` so the grid-scoped rule fires: an nm/px
+mix here is ``missing-grid-conversion``; a non-grid pair (nm vs ps) is
+plain ``unit-mismatch``; a public float API with no establishable unit
+is ``unit-unsafe-return``.  Never imported — lint fodder only.
+"""
+
+from repro.units import Nanometers, NmPerPixel, Picoseconds, Pixels
+
+
+def edge_to_sample(edge_nm: Nanometers, width_px: Pixels) -> float:
+    # nm + px without a pixel multiply/divide -> missing-grid-conversion
+    return edge_nm + width_px
+
+
+def compare_spaces(cd_nm: Nanometers, span_px: Pixels) -> bool:
+    # nm compared against px -> missing-grid-conversion
+    return cd_nm < span_px
+
+
+def skew_against_length(delay_ps: Picoseconds, cd_nm: Nanometers) -> float:
+    # ps - nm is no grid crossing, just nonsense -> unit-mismatch
+    return delay_ps - cd_nm
+
+
+def laundered_mix(pitch_nm: Nanometers, pixel: NmPerPixel, offset_px: Pixels) -> float:
+    # the conversion happens, but the *unconverted* value is still used:
+    # pitch_nm / pixel is px (fine), yet pitch_nm + offset_px remains
+    half_px = pitch_nm / pixel / 2
+    return half_px + pitch_nm + offset_px  # nm meets px again
+
+
+def edge_position(samples: int, scale: float) -> float:
+    # public litho API returning a bare float of unknowable unit
+    # -> unit-unsafe-return
+    return samples * scale

@@ -1,0 +1,28 @@
+"""Deliberate per-element python loops — ``python-loop-over-ndarray``.
+
+Lives under ``repro/metrology/`` because the rule is scoped to the
+modules where per-gate scaling matters.  Never imported.
+"""
+
+import numpy as np
+
+
+def accumulate(values: np.ndarray) -> float:
+    total = 0.0
+    for v in values:  # direct iteration over an ndarray
+        total += v
+    return total
+
+
+def crossings(values: np.ndarray, threshold: float) -> int:
+    count = 0
+    for k in range(len(values) - 1):  # range(len(arr)) indexing loop
+        if (values[k] - threshold) * (values[k + 1] - threshold) < 0:
+            count += 1
+    return count
+
+
+def pair_up(n: int) -> list:
+    xs = np.linspace(0.0, 1.0, n)
+    ys = np.arange(n)
+    return [x * y for x, y in zip(xs, ys)]  # comprehension over zip of ndarrays

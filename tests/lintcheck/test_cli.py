@@ -90,6 +90,8 @@ class TestCorpus:
             "mutable-default", "cache-undeclared-input", "entropy-taint",
             "unguarded-shared-state", "lock-order-inversion",
             "blocking-in-async",
+            "unit-mismatch", "missing-grid-conversion", "unit-unsafe-return",
+            "dtype-drift", "silent-broadcast", "python-loop-over-ndarray",
         }
 
     def test_waived_file_is_clean(self):
@@ -249,3 +251,39 @@ class TestChangedFlag:
         (tmp_path / "mod.py").write_text("X = 1\n")
         assert main(["lint", str(tmp_path), "--changed"]) == 3
         assert "git" in capsys.readouterr().err
+
+    def test_detached_head_checkout(self, repo, capsys):
+        """CI checkouts are detached; the diff base is HEAD's commit."""
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        _git("checkout", "-q", "--detach", head, cwd=repo)
+        (repo / "bad.py").write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out
+        assert "clean.py" not in out
+
+    def test_renamed_file_lints_new_path_only(self, repo, capsys):
+        """A staged rename lints the post-rename path; the old path is
+        gone and must not be resurrected into the file list."""
+        _git("mv", "bad.py", "moved.py", cwd=repo)
+        # touch it so rename detection still pairs old->new (R score < 100%
+        # keeps both paths in the -z stream, the case the parser must split)
+        (repo / "moved.py").write_text(
+            "import random\n\n\ndef f(items=[]):\n    return random.random()\n")
+        _git("add", "-A", cwd=repo)
+        assert main(["lint", str(repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "moved.py" in out
+        assert "bad.py" not in out
+
+    def test_repo_with_no_commits_diffs_against_empty_tree(
+            self, tmp_path, monkeypatch, capsys):
+        _git("init", "-q", cwd=tmp_path)
+        (tmp_path / "fresh.py").write_text("def g(items=[]):\n    return items\n")
+        _git("add", "-A", cwd=tmp_path)  # staged but never committed
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--changed"]) == 1
+        assert "mutable-default" in capsys.readouterr().out

@@ -315,6 +315,9 @@ class TestEngine:
             "unseeded-rng", "cache-undeclared-input", "stale-version",
             "entropy-taint", "unguarded-shared-state",
             "lock-order-inversion", "blocking-in-async",
+            "unit-mismatch", "missing-grid-conversion",
+            "unit-unsafe-return", "dtype-drift", "silent-broadcast",
+            "python-loop-over-ndarray",
         }
 
     def test_decorator_line_waiver_covers_decorated_statement(self):

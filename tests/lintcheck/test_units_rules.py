@@ -1,0 +1,248 @@
+"""Unit-lattice analysis: algebra, seeding, interprocedural propagation,
+and the three rules (`unit-mismatch`, `missing-grid-conversion`,
+`unit-unsafe-return`)."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import textwrap
+
+import pytest
+
+from repro.lintcheck.core import check_paths, rules_for
+from repro.lintcheck.units import (
+    DIMLESS,
+    NM,
+    NM_PER_PX,
+    PS,
+    PX,
+    combine_add,
+    combine_div,
+    combine_mul,
+)
+
+UNIT_RULES = rules_for(select=[
+    "unit-mismatch", "missing-grid-conversion", "unit-unsafe-return",
+])
+
+
+def lint(source, path="src/repro/litho/mod.py", select=None):
+    """Write a module under a realistic repo-relative path and lint it
+    (the unit rules are whole-program: they need real files)."""
+    rules = UNIT_RULES if select is None else rules_for(select=select)
+    root = tempfile.mkdtemp(prefix="unitslint-")
+    target = os.path.join(root, path)
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    with open(target, "w", encoding="utf-8") as fh:
+        fh.write(textwrap.dedent(source))
+    return check_paths([target], rules=rules)
+
+
+class TestLatticeAlgebra:
+    def test_add_same_unit_keeps_it(self):
+        assert combine_add(NM, NM) == (NM, False)
+
+    def test_add_incompatible_flags_mismatch(self):
+        unit, mismatch = combine_add(NM, PX)
+        assert mismatch and unit is None
+
+    def test_unknown_and_dimensionless_are_permissive(self):
+        assert combine_add(NM, None) == (NM, False)
+        assert combine_add(None, PX) == (PX, False)
+        assert combine_add(NM, DIMLESS) == (NM, False)
+        assert combine_add(None, None) == (None, False)
+
+    def test_mul_transports_across_the_raster_boundary(self):
+        assert combine_mul(PX, NM_PER_PX) == NM
+        assert combine_mul(NM_PER_PX, PX) == NM
+        assert combine_mul(NM, DIMLESS) == NM
+
+    def test_div_cancels_and_converts(self):
+        assert combine_div(NM, NM) == DIMLESS
+        assert combine_div(NM, NM_PER_PX) == PX
+        assert combine_div(NM, PX) == NM_PER_PX
+        assert combine_div(PS, DIMLESS) == PS
+
+
+class TestSeeding:
+    def test_alias_annotations_are_units(self):
+        found = lint("""
+            from repro.units import Nanometers, Pixels
+
+            def f(a: Nanometers, b: Pixels):
+                return a + b
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+    def test_suffix_convention_is_a_unit(self):
+        found = lint("""
+            def f(width_nm, span_px):
+                x = width_nm - span_px
+                return x
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+    def test_exact_name_pixel_is_the_conversion_factor(self):
+        # dividing nm by `pixel` produces px; comparing that against
+        # another px value is NOT a mismatch
+        found = lint("""
+            def f(width_nm, pixel, limit_px):
+                return (width_nm / pixel) > limit_px
+        """)
+        assert found == []
+
+    def test_ps_vs_nm_is_plain_unit_mismatch_even_in_litho(self):
+        found = lint("""
+            def f(delay_ps, width_nm):
+                return delay_ps + width_nm
+        """)
+        assert [f.rule for f in found] == ["unit-mismatch"]
+
+    def test_nm_px_outside_litho_is_unit_mismatch(self):
+        found = lint("""
+            def f(width_nm, span_px):
+                return width_nm + span_px
+        """, path="src/repro/timing/mod.py")
+        assert [f.rule for f in found] == ["unit-mismatch"]
+
+
+class TestTransport:
+    def test_pixel_multiply_crosses_cleanly(self):
+        found = lint("""
+            def f(span_px, pixel, width_nm):
+                return span_px * pixel + width_nm
+        """)
+        assert found == []
+
+    def test_division_by_pixel_crosses_cleanly(self):
+        found = lint("""
+            def f(width_nm, pixel, span_px):
+                return width_nm / pixel + span_px
+        """)
+        assert found == []
+
+    def test_ratio_of_same_units_is_dimensionless(self):
+        found = lint("""
+            def f(a_nm, b_nm, scale):
+                return (a_nm / b_nm) * scale
+        """)
+        assert found == []
+
+    def test_constants_never_report(self):
+        found = lint("""
+            def f(width_nm):
+                return width_nm + 0.5 - 2
+        """)
+        assert found == []
+
+
+class TestInterprocedural:
+    def test_return_unit_flows_through_helper(self):
+        found = lint("""
+            def half_width(width_nm):
+                return width_nm / 2
+
+            def f(width_nm, span_px):
+                return half_width(width_nm) + span_px
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+    def test_declared_return_alias_is_authoritative(self):
+        found = lint("""
+            from repro.units import Pixels
+
+            def to_px(value, pixel) -> Pixels:
+                return value / pixel
+
+            def f(width_nm, pixel):
+                return to_px(width_nm, pixel) + width_nm
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+    def test_dataclass_field_units_seed_attribute_access(self):
+        found = lint("""
+            from dataclasses import dataclass
+            from repro.units import Nanometers, Pixels
+
+            @dataclass
+            class Grid:
+                origin: Nanometers
+                extent: Pixels
+
+            def f(grid: Grid):
+                return grid.origin + grid.extent
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+    def test_self_attribute_suffix_convention(self):
+        found = lint("""
+            class Image:
+                def __init__(self):
+                    self.x0_nm = 0.0
+
+                def shift(self, offset_px):
+                    return self.x0_nm + offset_px
+        """)
+        assert [f.rule for f in found] == ["missing-grid-conversion"]
+
+
+class TestUnitUnsafeReturn:
+    def test_bare_float_with_unknown_unit_fires(self):
+        found = lint("""
+            def edge(samples, scale) -> float:
+                return samples * scale
+        """, select=["unit-unsafe-return"])
+        assert [f.rule for f in found] == ["unit-unsafe-return"]
+
+    def test_alias_annotation_satisfies(self):
+        found = lint("""
+            from repro.units import Nanometers
+
+            def edge(samples, scale) -> Nanometers:
+                return samples * scale
+        """, select=["unit-unsafe-return"])
+        assert found == []
+
+    def test_inferable_unit_satisfies(self):
+        found = lint("""
+            def span(a_nm, b_nm) -> float:
+                return a_nm - b_nm
+        """, select=["unit-unsafe-return"])
+        assert found == []
+
+    def test_private_and_unannotated_are_exempt(self):
+        found = lint("""
+            def _helper(samples, scale) -> float:
+                return samples * scale
+
+            def legacy(samples, scale):
+                return samples * scale
+        """, select=["unit-unsafe-return"])
+        assert found == []
+
+    def test_out_of_scope_paths_are_exempt(self):
+        found = lint("""
+            def edge(samples, scale) -> float:
+                return samples * scale
+        """, path="src/repro/flow/mod.py", select=["unit-unsafe-return"])
+        assert found == []
+
+
+class TestWaivers:
+    def test_inline_waiver_suppresses(self):
+        found = lint("""
+            def f(width_nm, span_px):
+                return width_nm + span_px  # repro-lint: allow[missing-grid-conversion]
+        """)
+        assert found == []
+
+
+@pytest.mark.parametrize("module", [
+    "src/repro/litho/raster.py",
+    "src/repro/litho/contour.py",
+    "src/repro/litho/imaging.py",
+])
+def test_shipped_grid_modules_are_clean(module):
+    from repro.lintcheck.core import check_paths
+    assert check_paths([module], rules=UNIT_RULES) == []

@@ -1,0 +1,85 @@
+"""The vectorized ``_span_containing_center`` is bit-identical to the
+per-segment python loop it replaced.
+
+Elementwise float64 arithmetic is IEEE exactly rounded, and the
+vectorized form evaluates the same expressions per crossing segment in
+the same order, so identity here is exact (``==``), not approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrology.gate_cd import _span_containing_center
+
+
+def _span_loop_reference(positions, values, threshold, center):
+    """The pre-vectorization implementation, verbatim."""
+    center_value = np.interp(center, positions, values)
+    if center_value >= threshold:
+        return 0.0
+    deltas = values - threshold
+    crossings = []
+    for k in range(len(values) - 1):
+        if deltas[k] * deltas[k + 1] <= 0.0 and values[k] != values[k + 1]:
+            t = (threshold - values[k]) / (values[k + 1] - values[k])
+            crossings.append(positions[k] + t * (positions[k + 1] - positions[k]))
+    left = [c for c in crossings if c <= center]
+    right = [c for c in crossings if c >= center]
+    left_edge = max(left) if left else positions[0]
+    right_edge = min(right) if right else positions[-1]
+    return float(right_edge - left_edge)
+
+
+def _dip_profile(rng, samples):
+    """Aerial-image-like cutline: bright field with gaussian dark dips."""
+    positions = np.linspace(-120.0, 120.0, samples)
+    values = np.ones(samples)
+    for _ in range(rng.integers(1, 4)):
+        mu = rng.uniform(-80.0, 80.0)
+        sigma = rng.uniform(8.0, 40.0)
+        depth = rng.uniform(0.4, 1.1)
+        values -= depth * np.exp(-((positions - mu) ** 2) / (2 * sigma**2))
+    return positions, values
+
+
+class TestBitIdentity:
+    def test_randomized_profiles_match_exactly(self):
+        rng = np.random.default_rng(20260808)
+        for _ in range(500):
+            positions, values = _dip_profile(rng, int(rng.integers(8, 160)))
+            threshold = rng.uniform(0.1, 0.9)
+            center = rng.uniform(positions[0], positions[-1])
+            expected = _span_loop_reference(positions, values, threshold, center)
+            got = _span_containing_center(positions, values, threshold, center)
+            assert got == expected  # bit-identical, not approx
+
+    def test_cleared_center_is_zero(self):
+        positions = np.linspace(0.0, 10.0, 32)
+        values = np.ones(32)
+        assert _span_containing_center(positions, values, 0.5, 5.0) == 0.0
+
+    def test_plateau_at_threshold_matches_loop(self):
+        # v0 == v1 segments sitting exactly on the threshold: the loop's
+        # `values[k] != values[k+1]` guard must be reproduced exactly.
+        positions = np.arange(10.0)
+        values = np.array([1.0, 0.5, 0.5, 0.2, 0.2, 0.2, 0.5, 0.5, 1.0, 1.0])
+        for center in (3.0, 4.0, 4.5):
+            assert _span_containing_center(positions, values, 0.5, center) == \
+                _span_loop_reference(positions, values, 0.5, center)
+
+    def test_no_crossing_spans_full_window(self):
+        positions = np.linspace(0.0, 10.0, 16)
+        values = np.zeros(16)
+        got = _span_containing_center(positions, values, 0.5, 5.0)
+        assert got == _span_loop_reference(positions, values, 0.5, 5.0)
+        assert got == pytest.approx(10.0)
+
+    def test_exact_threshold_touch_matches_loop(self):
+        # a sample landing exactly on the threshold makes delta == 0 in
+        # two adjacent segments; both spell one crossing each in the loop
+        positions = np.arange(6.0)
+        values = np.array([1.0, 0.5, 0.1, 0.1, 0.5, 1.0])
+        got = _span_containing_center(positions, values, 0.5, 2.5)
+        assert got == _span_loop_reference(positions, values, 0.5, 2.5)
